@@ -1,0 +1,164 @@
+// Shared workload builders for the experiment benches (DESIGN.md §5).
+//
+// Each bench binary reproduces one qualitative claim from the paper's
+// evaluation (§2/§8) as a quantitative table; EXPERIMENTS.md records the
+// measured shapes against the claims. Benches run whole-machine simulations
+// per iteration, so they register with Iterations(1) and report simulated-
+// time/byte counters rather than host wall-time.
+
+#ifndef AURAGEN_BENCH_WORKLOADS_H_
+#define AURAGEN_BENCH_WORKLOADS_H_
+
+#include <string>
+
+#include "src/avm/assembler.h"
+#include "src/machine/machine.h"
+
+namespace auragen::bench {
+
+// Ping-pong pair: `rounds` request/reply exchanges over a paired channel,
+// then both exit. `tag` distinguishes channel names for concurrent pairs.
+inline Executable Pinger(const std::string& tag, int rounds) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(3 + tag.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    li r11, buf
+    st r8, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    addi r8, r8, 1
+    li r12, )" + std::to_string(rounds) + R"(
+    blt r8, r12, loop
+    exit 0
+.data
+name: .ascii "ch:)" + tag + R"("
+buf: .word 0
+)");
+}
+
+inline Executable Ponger(const std::string& tag, int rounds) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(3 + tag.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r12, )" + std::to_string(rounds) + R"(
+    blt r8, r12, loop
+    exit 0
+.data
+name: .ascii "ch:)" + tag + R"("
+buf: .word 0
+)");
+}
+
+// Compute worker touching `pages` distinct pages per round for `rounds`
+// rounds of `spin` loop iterations; reads one message per round from a
+// feeder (so read-triggered policies engage), then exits.
+inline Executable StatefulWorker(const std::string& tag, int rounds, int spin, int pages) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(3 + tag.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0           ; round
+rounds:
+    li r9, 0
+spin:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(spin) + R"(
+    blt r9, r11, spin
+    ; touch `pages` pages, 256 bytes apart, starting at 0x6000
+    li r5, 0
+    li r6, 0x6000
+touch:
+    st r8, r6, 0
+    addi r6, r6, 256
+    addi r5, r5, 1
+    li r11, )" + std::to_string(pages) + R"(
+    blt r5, r11, touch
+    ; one read per round (feeder supplies)
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    addi r8, r8, 1
+    li r11, )" + std::to_string(rounds) + R"(
+    blt r8, r11, rounds
+    exit 0
+.data
+name: .ascii "ch:)" + tag + R"("
+buf: .word 0
+)");
+}
+
+// Feeder for StatefulWorker: sends `rounds` ticks then exits.
+inline Executable Feeder(const std::string& tag, int rounds, int pace = 500) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(3 + tag.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    li r9, 0
+pace:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(pace) + R"(
+    blt r9, r11, pace
+    li r11, buf
+    st r8, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r11, )" + std::to_string(rounds) + R"(
+    blt r8, r11, loop
+    exit 0
+.data
+name: .ascii "ch:)" + tag + R"("
+buf: .word 0
+)");
+}
+
+// Pure compute: spins then exits (capacity benches).
+inline Executable ComputeJob(int total_spin) {
+  return MustAssemble(R"(
+start:
+    li r9, 0
+spin:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(total_spin) + R"(
+    blt r9, r11, spin
+    exit 0
+)");
+}
+
+}  // namespace auragen::bench
+
+#endif  // AURAGEN_BENCH_WORKLOADS_H_

@@ -1,0 +1,200 @@
+// bank_oltp: the paper's motivating workload — on-line transaction
+// processing (§3). Two teller processes stream transactions to an account
+// manager over paired channels; the account manager keeps balances in its
+// address space, logs every transaction to a file on the mirrored disk, and
+// reports. A cluster crash is injected mid-stream.
+//
+// The interesting property: no transaction is lost and none is applied
+// twice, even though the crash kills the account manager *and* the page
+// server primary. Compare the final balances and the on-disk log length
+// with the failure-free run.
+//
+//   $ ./examples/bank_oltp [crash_time_us]     (0 = no crash; default 70000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/avm/assembler.h"
+#include "src/machine/machine.h"
+
+using namespace auragen;
+
+namespace {
+
+// Teller: opens ch:<name>, sends `count` transactions of fixed amount,
+// paced, then exits.
+Executable Teller(const std::string& channel, int count, int amount, int pace) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, 6
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    li r9, 0
+pace:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(pace) + R"(
+    blt r9, r11, pace
+    li r11, buf
+    li r12, )" + std::to_string(amount) + R"(
+    st r12, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r11, )" + std::to_string(count) + R"(
+    blt r8, r11, loop
+    exit 0
+.data
+name: .ascii ")" + channel + R"("
+buf: .word 0
+)");
+}
+
+// Account manager: bunches both teller channels, applies each transaction
+// to the balance, appends one byte per transaction to "txn.log", prints a
+// '.' every 8 transactions and the final balance in decimal at the end.
+Executable AccountManager(int total_txns) {
+  return MustAssemble(R"(
+start:
+    li r1, name_a
+    li r2, 6
+    sys open
+    mov r5, r0
+    li r1, name_b
+    li r2, 6
+    sys open
+    mov r6, r0
+    li r1, logname
+    li r2, 7
+    sys open
+    mov r7, r0          ; log fd
+    li r11, fds
+    st r5, r11, 0
+    st r6, r11, 4
+    li r1, fds
+    li r2, 2
+    sys bunch
+    mov r13, r0         ; group id
+    li r8, 0            ; txns applied
+loop:
+    mov r1, r13
+    sys which
+    mov r1, r0
+    li r2, buf
+    li r3, 4
+    sys read
+    li r11, buf
+    ld r2, r11, 0
+    li r11, balance
+    ld r3, r11, 0
+    add r3, r3, r2
+    st r3, r11, 0
+    ; append one byte to the log (blocks for the server's ack)
+    mov r1, r7
+    li r2, mark
+    li r3, 1
+    sys write
+    addi r8, r8, 1
+    ; progress dot every 8
+    li r11, 8
+    mod r12, r8, r11
+    li r11, 0
+    bne r12, r11, skip
+    li r1, 2
+    li r2, dot
+    li r3, 1
+    sys write
+skip:
+    li r11, )" + std::to_string(total_txns) + R"(
+    blt r8, r11, loop
+    ; print balance as four decimal digits
+    li r11, balance
+    ld r2, r11, 0
+    li r9, 1000
+    li r10, out
+    li r5, 48
+digits:
+    div r4, r2, r9
+    add r4, r4, r5
+    stb r4, r10, 0
+    mod r2, r2, r9
+    li r4, 10
+    div r9, r9, r4
+    addi r10, r10, 1
+    li r4, 0
+    bne r9, r4, digits
+    li r1, 2
+    li r2, out
+    li r3, 4
+    sys write
+    exit 0
+.data
+name_a: .ascii "ch:tla"
+name_b: .ascii "ch:tlb"
+logname: .ascii "txn.log"
+fds: .space 8
+buf: .word 0
+balance: .word 0
+mark: .ascii "#"
+dot: .ascii "."
+out: .space 8
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimTime crash_at = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 70'000;
+  constexpr int kTxnsPerTeller = 16;
+  constexpr int kTotal = 2 * kTxnsPerTeller;
+
+  MachineOptions options;
+  options.config.num_clusters = 2;
+  options.config.sync_reads_limit = 6;
+  Machine machine(options);
+  machine.Boot();
+
+  Machine::UserSpawnOptions mgr_opts;
+  mgr_opts.with_tty = true;
+  mgr_opts.backup_cluster = 0;
+  Machine::UserSpawnOptions teller_opts;
+  teller_opts.backup_cluster = 1;
+
+  Gpid manager = machine.SpawnUserProgram(1, AccountManager(kTotal), mgr_opts);
+  machine.SpawnUserProgram(0, Teller("ch:tla", kTxnsPerTeller, 7, 2000), teller_opts);
+  machine.SpawnUserProgram(0, Teller("ch:tlb", kTxnsPerTeller, 5, 2600), teller_opts);
+
+  if (crash_at != 0) {
+    std::printf("will crash cluster 1 (account manager + page server) at +%llu us\n",
+                static_cast<unsigned long long>(crash_at));
+    machine.CrashClusterAt(machine.engine().Now() + crash_at, 1);
+  }
+
+  bool done = machine.RunUntilAllExited(300'000'000);
+  machine.Settle();
+
+  std::printf("all processes finished: %s\n", done ? "yes" : "NO");
+  std::printf("terminal: \"%s\"\n", machine.TtyOutput(0).c_str());
+  std::printf("expected: \"....%d\" with %d dots and balance %d\n", 16 * 7 + 16 * 5,
+              kTotal / 8, 16 * 7 + 16 * 5);
+  std::printf("manager exit status: %d\n", done ? machine.ExitStatus(manager) : -1);
+
+  const Metrics& m = machine.metrics();
+  std::printf("\nmessage-system activity: %llu sends, %llu syncs, %llu takeovers, "
+              "%llu suppressed resends\n",
+              static_cast<unsigned long long>(m.messages_sent),
+              static_cast<unsigned long long>(m.syncs),
+              static_cast<unsigned long long>(m.takeovers),
+              static_cast<unsigned long long>(m.sends_suppressed));
+
+  std::string expected = "....0192";
+  bool ok = done && machine.TtyOutput(0) == expected;
+  std::printf("%s\n", ok ? "OK: ledger consistent after recovery."
+                         : "FAILURE: ledger diverged!");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// AVM — the Auragen Virtual Machine instruction set.
+//
+// The paper runs user programs on MC68000 work processors; what its
+// algorithms actually require of the user ISA is (a) deterministic
+// execution, (b) a process state that decomposes into a small register
+// context (the PCB of §7.7) plus a paged address space (the page account of
+// §7.6), and (c) a trap into the kernel for system calls. The AVM is the
+// smallest ISA with those properties: 16 32-bit registers, a 64 KiB paged
+// address space, and fixed 8-byte instructions.
+//
+// Instruction encoding (little-endian):
+//   byte 0: opcode
+//   byte 1: ra (destination / first operand register)
+//   byte 2: rb
+//   byte 3: rc
+//   bytes 4..7: imm32
+//
+// Register conventions (enforced by the assembler's aliases, not hardware):
+//   r0       return value / syscall result (negative values are -Errc)
+//   r1..r5   arguments (function and syscall)
+//   r14 (sp) stack pointer, grows down from kSignalSaveBase
+//   r15 (lr) link register
+//
+// Memory map:
+//   0x0000...          text, then data (loaded from the executable image)
+//   ... up to 0xFDFF   heap/stack (stack grows down from 0xFE00)
+//   0xFE00..0xFEFF     reserved scratch
+//   0xFF00..0xFFFF     signal save area: the kernel spills the interrupted
+//                      register context here before vectoring to a handler;
+//                      SYS sigret restores it. Keeping it in *user* memory
+//                      means it is captured by the ordinary page-based sync
+//                      (§7.5.2's determinism requirement).
+
+#ifndef AURAGEN_SRC_AVM_ISA_H_
+#define AURAGEN_SRC_AVM_ISA_H_
+
+#include <cstdint>
+
+namespace auragen {
+
+inline constexpr uint32_t kAvmMemBytes = 64 * 1024;
+inline constexpr uint32_t kAvmPageBytes = 256;
+inline constexpr uint32_t kAvmNumPages = kAvmMemBytes / kAvmPageBytes;
+inline constexpr uint32_t kAvmNumRegs = 16;
+inline constexpr uint32_t kAvmInstrBytes = 8;
+inline constexpr uint32_t kSignalSaveBase = 0xFF00;
+inline constexpr uint32_t kStackTop = 0xFE00;
+inline constexpr uint32_t kSpReg = 14;
+inline constexpr uint32_t kLrReg = 15;
+
+enum class Op : uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,   // terminate with r1 as exit status (assembler sugar: EXIT)
+
+  // Data movement.
+  kLi = 0x10,     // ra = imm32
+  kMov = 0x11,    // ra = rb
+  kLd = 0x12,     // ra = mem32[rb + imm32]
+  kLdb = 0x13,    // ra = mem8[rb + imm32]
+  kSt = 0x14,     // mem32[rb + imm32] = ra
+  kStb = 0x15,    // mem8[rb + imm32] = ra (low byte)
+
+  // ALU, three-register: ra = rb OP rc.
+  kAdd = 0x20,
+  kSub = 0x21,
+  kMul = 0x22,
+  kDiv = 0x23,    // signed; divide by zero raises a synchronous fault
+  kMod = 0x24,
+  kAnd = 0x25,
+  kOr = 0x26,
+  kXor = 0x27,
+  kShl = 0x28,
+  kShr = 0x29,    // logical
+  kSlt = 0x2a,    // ra = (int)rb < (int)rc
+  kSltu = 0x2b,   // ra = rb < rc (unsigned)
+  kAddi = 0x2c,   // ra = rb + imm32
+
+  // Control flow; targets are absolute byte addresses in imm32.
+  kJmp = 0x30,
+  kBeq = 0x31,    // if ra == rb goto imm32
+  kBne = 0x32,
+  kBlt = 0x33,    // signed ra < rb
+  kBge = 0x34,
+  kJal = 0x35,    // lr = pc + 8; goto imm32
+  kJr = 0x36,     // goto ra
+
+  // Kernel trap; syscall number in imm32.
+  kSys = 0x40,
+};
+
+// System calls. The mapping to the message system is the heart of the
+// reproduction: every one of these either is serviced with purely
+// cluster-independent data or turns into a message exchange, so that a
+// rolled-forward backup observes identical results (§7.5).
+enum class Sys : uint32_t {
+  kOpen = 1,      // r1=name ptr, r2=name len -> fd   (open request to file server)
+  kClose = 2,     // r1=fd
+  kRead = 3,      // r1=fd, r2=buf, r3=max -> len; always blocking (§7.5.1)
+  kWrite = 4,     // r1=fd, r2=buf, r3=len -> len
+  kFork = 5,      // -> 0 in child, child gpid-low in parent (birth notice, §7.7)
+  kExit = 6,      // r1=status
+  kGetpid = 7,    // -> low 32 bits of the globally unique pid (§7.5.1)
+  kGettime = 8,   // -> time via process server message round-trip (§7.5.1)
+  kAlarm = 9,     // r1=delay us: SIGALRM via signal channel later (§7.5.2)
+  kSigset = 10,   // r1=handler address (0 = ignore); one signal vector
+  kSigret = 11,   // return from signal handler (restore save area)
+  kYield = 12,    // relinquish the work processor
+  kBunch = 13,    // r1=ptr to fd array, r2=count -> group id (§7.5.1)
+  kWhich = 14,    // r1=group id -> fd of first channel with a message
+  kWritev = 15,   // r1=fd, r2=buf, r3=len: write requiring server answer
+  kDebugPutc = 16,// r1=char: UNSAFE direct host output, bypasses the message
+                  // system; duplicates during rollforward by design (tests
+                  // use it to observe recomputation)
+  kSyncHint = 17, // ask the kernel to sync now (not required; tests/benches)
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  uint8_t rc = 0;
+  uint32_t imm = 0;
+};
+
+inline void EncodeInstr(const Instr& in, uint8_t out[kAvmInstrBytes]) {
+  out[0] = static_cast<uint8_t>(in.op);
+  out[1] = in.ra;
+  out[2] = in.rb;
+  out[3] = in.rc;
+  out[4] = static_cast<uint8_t>(in.imm);
+  out[5] = static_cast<uint8_t>(in.imm >> 8);
+  out[6] = static_cast<uint8_t>(in.imm >> 16);
+  out[7] = static_cast<uint8_t>(in.imm >> 24);
+}
+
+inline Instr DecodeInstr(const uint8_t in[kAvmInstrBytes]) {
+  Instr i;
+  i.op = static_cast<Op>(in[0]);
+  i.ra = in[1];
+  i.rb = in[2];
+  i.rc = in[3];
+  i.imm = static_cast<uint32_t>(in[4]) | (static_cast<uint32_t>(in[5]) << 8) |
+          (static_cast<uint32_t>(in[6]) << 16) | (static_cast<uint32_t>(in[7]) << 24);
+  return i;
+}
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_AVM_ISA_H_

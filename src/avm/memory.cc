@@ -1,0 +1,162 @@
+#include "src/avm/memory.h"
+
+namespace auragen {
+
+GuestMemory::GuestMemory()
+    : pages_(kAvmNumPages), resident_(kAvmNumPages, false), dirty_(kAvmNumPages, false) {}
+
+GuestMemory::Access GuestMemory::Require(uint32_t addr, uint32_t len) {
+  if (addr + len > kAvmMemBytes || addr + len < addr) {
+    return Access::kOutOfRange;
+  }
+  PageNum first = PageOf(addr);
+  PageNum last = PageOf(addr + len - 1);
+  for (PageNum p = first; p <= last; ++p) {
+    if (!resident_[p]) {
+      fault_page_ = p;
+      return Access::kFault;
+    }
+  }
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::Read8(uint32_t addr, uint8_t* out) {
+  Access a = Require(addr, 1);
+  if (a != Access::kOk) {
+    return a;
+  }
+  *out = pages_[PageOf(addr)][addr % kAvmPageBytes];
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::Read32(uint32_t addr, uint32_t* out) {
+  Access a = Require(addr, 4);
+  if (a != Access::kOk) {
+    return a;
+  }
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint32_t byte_addr = addr + i;
+    v |= static_cast<uint32_t>(pages_[PageOf(byte_addr)][byte_addr % kAvmPageBytes]) << (8 * i);
+  }
+  *out = v;
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::Write8(uint32_t addr, uint8_t value) {
+  Access a = Require(addr, 1);
+  if (a != Access::kOk) {
+    return a;
+  }
+  PageNum p = PageOf(addr);
+  pages_[p][addr % kAvmPageBytes] = value;
+  dirty_[p] = true;
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::Write32(uint32_t addr, uint32_t value) {
+  Access a = Require(addr, 4);
+  if (a != Access::kOk) {
+    return a;
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint32_t byte_addr = addr + i;
+    PageNum p = PageOf(byte_addr);
+    pages_[p][byte_addr % kAvmPageBytes] = static_cast<uint8_t>(value >> (8 * i));
+    dirty_[p] = true;
+  }
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::ReadRange(uint32_t addr, uint32_t len, Bytes* out) {
+  Access a = Require(addr, len);
+  if (a != Access::kOk) {
+    return a;
+  }
+  out->clear();
+  out->reserve(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    uint32_t byte_addr = addr + i;
+    out->push_back(pages_[PageOf(byte_addr)][byte_addr % kAvmPageBytes]);
+  }
+  return Access::kOk;
+}
+
+GuestMemory::Access GuestMemory::WriteRange(uint32_t addr, const Bytes& data) {
+  Access a = Require(addr, static_cast<uint32_t>(data.size()));
+  if (a != Access::kOk) {
+    return a;
+  }
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    uint32_t byte_addr = addr + i;
+    PageNum p = PageOf(byte_addr);
+    pages_[p][byte_addr % kAvmPageBytes] = data[i];
+    dirty_[p] = true;
+  }
+  return Access::kOk;
+}
+
+void GuestMemory::InstallPage(PageNum page, const Bytes& content) {
+  AURAGEN_CHECK(page < kAvmNumPages);
+  AURAGEN_CHECK(content.size() == kAvmPageBytes) << "bad page size" << content.size();
+  pages_[page] = content;
+  resident_[page] = true;
+  dirty_[page] = false;
+}
+
+void GuestMemory::InstallPageDirty(PageNum page, const Bytes& content) {
+  InstallPage(page, content);
+  dirty_[page] = true;
+}
+
+void GuestMemory::MaterializeZero(PageNum page, bool dirty) {
+  AURAGEN_CHECK(page < kAvmNumPages);
+  pages_[page].assign(kAvmPageBytes, 0);
+  resident_[page] = true;
+  dirty_[page] = dirty;
+}
+
+Bytes GuestMemory::ExtractPage(PageNum page) const {
+  AURAGEN_CHECK(page < kAvmNumPages);
+  AURAGEN_CHECK(resident_[page]) << "extracting non-resident page" << page;
+  return pages_[page];
+}
+
+std::vector<PageNum> GuestMemory::DirtyPages() const {
+  std::vector<PageNum> out;
+  for (PageNum p = 0; p < kAvmNumPages; ++p) {
+    if (dirty_[p]) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+uint32_t GuestMemory::DirtyCount() const {
+  uint32_t n = 0;
+  for (PageNum p = 0; p < kAvmNumPages; ++p) {
+    n += dirty_[p] ? 1u : 0u;
+  }
+  return n;
+}
+
+void GuestMemory::ClearAllDirty() { dirty_.assign(kAvmNumPages, false); }
+
+void GuestMemory::EvictAll() {
+  for (PageNum p = 0; p < kAvmNumPages; ++p) {
+    pages_[p].clear();
+    pages_[p].shrink_to_fit();
+    resident_[p] = false;
+    dirty_[p] = false;
+  }
+}
+
+uint32_t GuestMemory::resident_count() const {
+  uint32_t n = 0;
+  for (PageNum p = 0; p < kAvmNumPages; ++p) {
+    n += resident_[p] ? 1u : 0u;
+  }
+  return n;
+}
+
+}  // namespace auragen

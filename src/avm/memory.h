@@ -1,0 +1,83 @@
+// Paged guest memory with dirty and residency tracking.
+//
+// This is the cooperation point between the message system and the paging
+// mechanism (§5.2, §7.6): sync ships exactly the pages dirtied since the
+// last sync to the page server, and a recovering backup starts with *no*
+// resident pages and demand-faults its address space back in (§7.10.2).
+//
+// Reads/writes return kFault when the page is not resident; the CPU aborts
+// the current instruction without side effects so it can be re-executed
+// after the kernel resolves the fault (zero-fill for fresh pages, a page
+// server round-trip during/after recovery).
+
+#ifndef AURAGEN_SRC_AVM_MEMORY_H_
+#define AURAGEN_SRC_AVM_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/codec.h"
+#include "src/base/types.h"
+#include "src/avm/isa.h"
+
+namespace auragen {
+
+class GuestMemory {
+ public:
+  GuestMemory();
+
+  // Access results. kFault sets fault_page().
+  enum class Access : uint8_t { kOk, kFault, kOutOfRange };
+
+  Access Read8(uint32_t addr, uint8_t* out);
+  Access Read32(uint32_t addr, uint32_t* out);
+  Access Write8(uint32_t addr, uint8_t value);
+  Access Write32(uint32_t addr, uint32_t value);
+
+  // Bulk access for kernel copies of syscall buffers. Faults on the first
+  // non-resident page touched.
+  Access ReadRange(uint32_t addr, uint32_t len, Bytes* out);
+  Access WriteRange(uint32_t addr, const Bytes& data);
+
+  PageNum fault_page() const { return fault_page_; }
+
+  // Installs page content, resident + clean (page-in from the page server).
+  void InstallPage(PageNum page, const Bytes& content);
+  // Installs content, resident + dirty (program load, fork copy): the page
+  // must reach the page account at the next sync.
+  void InstallPageDirty(PageNum page, const Bytes& content);
+  // Marks a page resident, zero-filled, dirty=false on page-in of a page the
+  // server never saw (fresh stack/heap). Deterministic across replay.
+  void MaterializeZero(PageNum page, bool dirty);
+
+  Bytes ExtractPage(PageNum page) const;
+
+  bool Resident(PageNum page) const { return resident_[page]; }
+  bool Dirty(PageNum page) const { return dirty_[page]; }
+  std::vector<PageNum> DirtyPages() const;
+  uint32_t DirtyCount() const;
+  void ClearDirty(PageNum page) { dirty_[page] = false; }
+  void ClearAllDirty();
+
+  // Drops every page (recovery: the backup begins with an empty resident
+  // set, §7.10.2). Content is discarded — it must come back from the page
+  // server.
+  void EvictAll();
+
+  uint32_t resident_count() const;
+
+ private:
+  Access Require(uint32_t addr, uint32_t len);
+
+  std::vector<Bytes> pages_;     // page -> kAvmPageBytes content (or empty)
+  std::vector<bool> resident_;
+  std::vector<bool> dirty_;
+  PageNum fault_page_ = 0;
+};
+
+inline PageNum PageOf(uint32_t addr) { return addr / kAvmPageBytes; }
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_AVM_MEMORY_H_

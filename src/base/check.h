@@ -1,0 +1,69 @@
+// Invariant checking for the Auragen reproduction.
+//
+// The simulated kernel is presumed free of errors (paper §3.1); any violated
+// invariant is a bug in this implementation, never a recoverable condition,
+// so checks abort. AURAGEN_CHECK is always on (it guards simulation
+// correctness, not performance-critical host paths); AURAGEN_DCHECK compiles
+// out in NDEBUG builds.
+
+#ifndef AURAGEN_SRC_BASE_CHECK_H_
+#define AURAGEN_SRC_BASE_CHECK_H_
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace auragen {
+
+[[noreturn]] inline void PanicAt(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "PANIC %s:%d: %s\n", file, line, msg.c_str());
+  void* frames[32];
+  int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, 2);
+  std::abort();
+}
+
+namespace internal {
+
+// Accumulates a panic message from streamed operands, then aborts in the
+// destructor. Used by the AURAGEN_CHECK macros so call sites can stream
+// context: AURAGEN_CHECK(x) << "x was " << x;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* cond) : file_(file), line_(line) {
+    stream_ << "check failed: " << cond;
+  }
+  [[noreturn]] ~CheckFailureStream() { PanicAt(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace auragen
+
+#define AURAGEN_CHECK(cond)                                             \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::auragen::internal::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define AURAGEN_PANIC(msg) ::auragen::PanicAt(__FILE__, __LINE__, (msg))
+
+#ifdef NDEBUG
+#define AURAGEN_DCHECK(cond) AURAGEN_CHECK(true || (cond))
+#else
+#define AURAGEN_DCHECK(cond) AURAGEN_CHECK(cond)
+#endif
+
+#endif  // AURAGEN_SRC_BASE_CHECK_H_

@@ -1,0 +1,34 @@
+#include "src/base/codec.h"
+
+#include <array>
+
+namespace auragen {
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string HexDump(const Bytes& b, size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  if (n < b.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace auragen

@@ -1,0 +1,127 @@
+// Byte-level message encoding.
+//
+// Everything that crosses the intercluster bus — user payloads, sync
+// messages, open replies, birth notices, server state — is serialized into a
+// flat byte vector with these little-endian writer/reader helpers. Keeping
+// messages as plain bytes (instead of passing C++ objects by pointer between
+// "clusters") is what keeps the simulation honest: a backup can only use
+// information that was actually transmitted.
+
+#ifndef AURAGEN_SRC_BASE_CODEC_H_
+#define AURAGEN_SRC_BASE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace auragen {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends fixed-width little-endian fields and length-prefixed blobs.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  void I32(int32_t v) { AppendLe(static_cast<uint32_t>(v)); }
+
+  // Length-prefixed (u32) byte blob.
+  void Blob(const uint8_t* data, size_t size) {
+    U32(static_cast<uint32_t>(size));
+    buf_.insert(buf_.end(), data, data + size);
+  }
+  void Blob(const Bytes& b) { Blob(b.data(), b.size()); }
+  void Str(std::string_view s) { Blob(reinterpret_cast<const uint8_t*>(s.data()), s.size()); }
+
+  // Raw bytes, no length prefix (caller knows the framing).
+  void Raw(const uint8_t* data, size_t size) { buf_.insert(buf_.end(), data, data + size); }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+// Reads fields written by ByteWriter. Out-of-bounds reads are checked: a
+// malformed message indicates an implementation bug (the simulated bus never
+// corrupts payloads unless fault injection asks it to, and fault-injected
+// corruption is detected by checksum before decoding).
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() { return data_[Advance(1)]; }
+  uint16_t U16() { return ReadLe<uint16_t>(); }
+  uint32_t U32() { return ReadLe<uint32_t>(); }
+  uint64_t U64() { return ReadLe<uint64_t>(); }
+  int32_t I32() { return static_cast<int32_t>(ReadLe<uint32_t>()); }
+  int64_t I64() { return static_cast<int64_t>(ReadLe<uint64_t>()); }
+
+  Bytes Blob() {
+    uint32_t n = U32();
+    size_t at = Advance(n);
+    return Bytes(data_ + at, data_ + at + n);
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    size_t at = Advance(n);
+    return std::string(reinterpret_cast<const char*>(data_ + at), n);
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    size_t at = Advance(sizeof(T));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[at + i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  size_t Advance(size_t n) {
+    AURAGEN_CHECK(pos_ + n <= size_) << "short message: need" << n << "have" << (size_ - pos_);
+    size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// FNV-1a over a byte range; used by the bus model's corruption detection and
+// by tests comparing state snapshots.
+uint64_t Fnv1a(const uint8_t* data, size_t size);
+inline uint64_t Fnv1a(const Bytes& b) { return Fnv1a(b.data(), b.size()); }
+
+// Renders bytes as hex for diagnostics (truncated past `max_bytes`).
+std::string HexDump(const Bytes& b, size_t max_bytes = 32);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BASE_CODEC_H_

@@ -1,0 +1,23 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace auragen {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Emit(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"T", "D", "I", "W", "E"};
+  const char* name = kNames[static_cast<int>(level)];
+  if (time_source_) {
+    std::fprintf(stderr, "[%10llu us] %s %s\n",
+                 static_cast<unsigned long long>(time_source_()), name, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[          ] %s %s\n", name, msg.c_str());
+  }
+}
+
+}  // namespace auragen

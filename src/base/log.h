@@ -1,0 +1,71 @@
+// Minimal leveled logger with a pluggable simulated-time source.
+//
+// Log lines are prefixed with the current simulation time so traces from a
+// run read like a kernel log: "[  1250us] c0 exec: deliver ch<7> ...".
+// Logging is off by default (benchmarks must not pay for it); tests and the
+// examples enable it explicitly.
+
+#ifndef AURAGEN_SRC_BASE_LOG_H_
+#define AURAGEN_SRC_BASE_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/base/types.h"
+
+namespace auragen {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  // The simulation engine installs itself here so log lines carry sim time.
+  void set_time_source(std::function<SimTime()> source) { time_source_ = std::move(source); }
+
+  void Emit(LogLevel level, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  std::function<SimTime()> time_source_;
+};
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Get().Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace auragen
+
+#define AURAGEN_LOG(level)                                 \
+  if (!::auragen::Logger::Get().Enabled(level)) {          \
+  } else                                                   \
+    ::auragen::internal::LogLine(level)
+
+#define ALOG_TRACE() AURAGEN_LOG(::auragen::LogLevel::kTrace)
+#define ALOG_DEBUG() AURAGEN_LOG(::auragen::LogLevel::kDebug)
+#define ALOG_INFO() AURAGEN_LOG(::auragen::LogLevel::kInfo)
+#define ALOG_WARN() AURAGEN_LOG(::auragen::LogLevel::kWarn)
+#define ALOG_ERROR() AURAGEN_LOG(::auragen::LogLevel::kError)
+
+#endif  // AURAGEN_SRC_BASE_LOG_H_

@@ -1,0 +1,118 @@
+// Lightweight Result<T> for fallible operations.
+//
+// The simulated kernel and servers run without exceptions (matching the
+// freestanding style of the original Auros kernel); recoverable failures are
+// carried in Result values, while broken invariants abort via AURAGEN_CHECK.
+
+#ifndef AURAGEN_SRC_BASE_RESULT_H_
+#define AURAGEN_SRC_BASE_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace auragen {
+
+// Error codes for the simulated system-call and server interfaces. Modeled
+// on the UNIX errno values the paper's Auros kernel would return.
+enum class Errc : int32_t {
+  kOk = 0,
+  kNoEntry,        // ENOENT: no such name / channel / file
+  kBadDescriptor,  // EBADF
+  kWouldBlock,     // read with no message and non-blocking context
+  kExists,         // EEXIST
+  kNoSpace,        // ENOSPC: disk or page store exhausted
+  kIo,             // EIO: device failure
+  kInvalid,        // EINVAL
+  kNotSupported,   // ENOSYS
+  kPeerGone,       // ECONNRESET: channel peer exited or unrecoverable
+  kUnavailable,    // channel marked unusable during fullback re-creation (§7.10.1)
+  kLimit,          // resource table full
+  kKilled,         // process destroyed (cluster crash without backup)
+};
+
+const char* ErrcName(Errc e);
+
+inline const char* ErrcName(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNoEntry: return "no-entry";
+    case Errc::kBadDescriptor: return "bad-fd";
+    case Errc::kWouldBlock: return "would-block";
+    case Errc::kExists: return "exists";
+    case Errc::kNoSpace: return "no-space";
+    case Errc::kIo: return "io";
+    case Errc::kInvalid: return "invalid";
+    case Errc::kNotSupported: return "not-supported";
+    case Errc::kPeerGone: return "peer-gone";
+    case Errc::kUnavailable: return "unavailable";
+    case Errc::kLimit: return "limit";
+    case Errc::kKilled: return "killed";
+  }
+  return "?";
+}
+
+// Result<T>: either a value or an Errc. Result<void> holds only a status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc error) : rep_(error) {           // NOLINT(google-explicit-constructor)
+    AURAGEN_CHECK(error != Errc::kOk) << "use a value for success";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::kOk : std::get<Errc>(rep_); }
+
+  T& value() & {
+    AURAGEN_CHECK(ok()) << "Result error:" << ErrcName(error());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    AURAGEN_CHECK(ok()) << "Result error:" << ErrcName(error());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    AURAGEN_CHECK(ok()) << "Result error:" << ErrcName(error());
+    return std::get<T>(std::move(rep_));
+  }
+
+  // GCC 12's -Wmaybe-uninitialized misfires on std::variant's unengaged
+  // alternative here (the value bytes are never read when holding Errc).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+  T value_or(T fallback) const {
+    if (const T* v = std::get_if<T>(&rep_)) {
+      return *v;
+    }
+    return fallback;
+  }
+#pragma GCC diagnostic pop
+
+ private:
+  std::variant<T, Errc> rep_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : error_(Errc::kOk) {}
+  Result(Errc error) : error_(error) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return error_ == Errc::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return error_; }
+
+ private:
+  Errc error_;
+};
+
+inline Result<void> OkResult() { return Result<void>(); }
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BASE_RESULT_H_

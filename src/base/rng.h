@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of variation in the simulation (workload arrivals, crash
+// instants, service jitter) draws from a seeded Xoshiro256** stream so that
+// a run is a pure function of its seed — the property the crash/recovery
+// equivalence tests in tests/ rely on. Never use std::random_device or
+// std::mt19937 default seeding inside the simulator.
+
+#ifndef AURAGEN_SRC_BASE_RNG_H_
+#define AURAGEN_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace auragen {
+
+// SplitMix64: used only to expand a single seed into Xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** by Blackman & Vigna. Small, fast, reproducible across
+// platforms (pure 64-bit integer arithmetic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t Below(uint64_t bound) {
+    AURAGEN_CHECK(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    AURAGEN_CHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Derives an independent child stream; deterministic in (this state, tag).
+  Rng Fork(uint64_t tag) {
+    uint64_t mix = Next() ^ (tag * 0x9e3779b97f4a7c15ull);
+    return Rng(mix);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BASE_RNG_H_

@@ -1,0 +1,26 @@
+#include "src/baselines/lockstep.h"
+
+namespace auragen {
+
+LockstepPair SpawnLockstep(Machine& machine, ClusterId cluster, ClusterId shadow_cluster,
+                           const Executable& exe, const Machine::UserSpawnOptions& opts) {
+  Machine::UserSpawnOptions primary_opts = opts;
+  LockstepPair pair;
+  pair.primary = machine.SpawnUserProgram(cluster, exe, primary_opts);
+  Machine::UserSpawnOptions shadow_opts = opts;
+  shadow_opts.with_tty = false;  // the shadow's device output is discarded
+  pair.shadow = machine.SpawnUserProgram(shadow_cluster, exe, shadow_opts);
+  return pair;
+}
+
+size_t UsefulCompletions(const Machine& machine, const std::vector<LockstepPair>& pairs) {
+  size_t n = 0;
+  for (const LockstepPair& pair : pairs) {
+    if (machine.exit_statuses().count(pair.primary.value) != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace auragen

@@ -1,0 +1,36 @@
+// Lockstep active-replication baseline (§2: "A process and its backups
+// execute simultaneously ... the duplicate hardware provides no increased
+// computational capability", the Stratus/32 design the paper contrasts
+// against).
+//
+// The helper spawns the same guest image as a primary in one cluster and a
+// shadow replica in another. Both execute every instruction; the shadow's
+// terminal/debug output is identified by its pid so harnesses can exclude
+// it from "useful work" accounting. Experiment E9 uses this to show the
+// capacity cost of dedicated duplicate hardware versus inactive backups.
+
+#ifndef AURAGEN_SRC_BASELINES_LOCKSTEP_H_
+#define AURAGEN_SRC_BASELINES_LOCKSTEP_H_
+
+#include <vector>
+
+#include "src/machine/machine.h"
+
+namespace auragen {
+
+struct LockstepPair {
+  Gpid primary;
+  Gpid shadow;
+};
+
+// Spawns exe in `cluster` and a lockstep shadow in `shadow_cluster`.
+LockstepPair SpawnLockstep(Machine& machine, ClusterId cluster, ClusterId shadow_cluster,
+                           const Executable& exe,
+                           const Machine::UserSpawnOptions& opts);
+
+// Work accounting helper: total exits counting lockstep pairs once.
+size_t UsefulCompletions(const Machine& machine, const std::vector<LockstepPair>& pairs);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BASELINES_LOCKSTEP_H_

@@ -1,0 +1,38 @@
+// Wire-level frame carried by the intercluster bus.
+//
+// The bus is payload-agnostic: it moves opaque bytes from one cluster to a
+// *set* of clusters (a 32-bit mask matches the machine's 2..32 clusters,
+// §7.1). Message semantics — three-way routing, sync, crash notices — live
+// in src/core; the bus provides only the two atomicity guarantees of §5.1.
+
+#ifndef AURAGEN_SRC_BUS_FRAME_H_
+#define AURAGEN_SRC_BUS_FRAME_H_
+
+#include <cstdint>
+
+#include "src/base/codec.h"
+#include "src/base/types.h"
+
+namespace auragen {
+
+// Set of destination clusters, bit i = cluster i.
+using ClusterMask = uint32_t;
+
+inline constexpr ClusterMask MaskOf(ClusterId c) { return ClusterMask{1} << c; }
+inline constexpr bool MaskHas(ClusterMask m, ClusterId c) { return (m & MaskOf(c)) != 0; }
+
+struct Frame {
+  uint64_t frame_id = 0;       // assigned by the bus, for tracing
+  ClusterId src = kNoCluster;  // transmitting cluster
+  ClusterMask targets = 0;     // receivers (may include src: local delivery
+                               // happens after successful transmission, §7.4.2)
+  Bytes payload;
+
+  size_t WireSize() const { return payload.size() + kHeaderBytes; }
+
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BUS_FRAME_H_

@@ -1,0 +1,126 @@
+// Dual high-speed intercluster bus model (§7.1, §5.1).
+//
+// Guarantees enforced (these carry the paper's whole correctness argument):
+//   1. All-or-nothing: every *alive* target cluster of a frame receives it,
+//      or none does (a frame is never partially delivered).
+//   2. No interleaving: the bus transmits one frame at a time; if frame A is
+//      accepted before frame B, A is delivered at every destination before B
+//      is delivered at any destination. Together with per-cluster FIFO
+//      outgoing queues this gives the identical-order property a primary and
+//      its backup rely on.
+//
+// The machine has two bus lines. Frames normally ride line 0; if a line is
+// failed by fault injection, transmission detects the failure after a
+// timeout and retries on the surviving line (cost model for bench E6).
+//
+// Negative-testing hooks deliberately break guarantee 1 or 2 so the test
+// suite can demonstrate that recovery correctness *depends* on them
+// (DESIGN.md invariant 5).
+
+#ifndef AURAGEN_SRC_BUS_INTERCLUSTER_BUS_H_
+#define AURAGEN_SRC_BUS_INTERCLUSTER_BUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/bus/frame.h"
+#include "src/sim/engine.h"
+
+namespace auragen {
+
+// A cluster's receive side. The executive processor implements this.
+class BusEndpoint {
+ public:
+  virtual ~BusEndpoint() = default;
+  virtual void OnFrame(const Frame& frame) = 0;
+};
+
+struct BusConfig {
+  // Fixed per-frame cost: arbitration + header, in microseconds.
+  SimTime arbitration_us = 2;
+  // Payload cost: microseconds per byte (dual high-speed bus; default
+  // ~16 MB/s per line, generous for 1983 but the *relative* shapes matter).
+  double us_per_byte = 0.0625;
+  // Time for the sender to notice a dead line and fail over to the other.
+  SimTime line_failover_timeout_us = 50;
+
+  SimTime FrameTime(size_t wire_bytes) const {
+    return arbitration_us + static_cast<SimTime>(static_cast<double>(wire_bytes) * us_per_byte);
+  }
+};
+
+struct BusStats {
+  uint64_t frames_sent = 0;       // accepted transmissions
+  uint64_t deliveries = 0;        // per-destination deliveries
+  uint64_t bytes_sent = 0;        // payload bytes transmitted (once per frame)
+  uint64_t failovers = 0;         // line failovers performed
+  SimTime busy_us = 0;            // time a line spent transmitting
+};
+
+// Modes for deliberately violating §5.1 guarantees in negative tests.
+enum class AtomicityViolation : uint8_t {
+  kNone,
+  // Each destination independently has a chance of being skipped
+  // (violates all-or-nothing).
+  kDropPerDestination,
+  // Destinations of one frame are delivered at independently jittered times,
+  // allowing another frame to arrive in between (violates non-interleaving).
+  kInterleave,
+};
+
+class InterclusterBus {
+ public:
+  InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters);
+
+  // Registers the receive callback for a cluster. Must be called for every
+  // cluster before traffic starts.
+  void AttachEndpoint(ClusterId cluster, BusEndpoint* endpoint);
+
+  // A cluster whose endpoint is detached (crashed) silently receives
+  // nothing; the remaining destinations still get the frame.
+  void DetachEndpoint(ClusterId cluster);
+  bool IsAttached(ClusterId cluster) const;
+
+  // Queues a frame for transmission. The bus serializes: at most one frame
+  // is on a line at a time; queued frames go out FIFO. Delivery to all
+  // targets happens at transmission-complete time, in target-cluster order
+  // within the same instant.
+  void Transmit(ClusterId src, ClusterMask targets, Bytes payload);
+
+  // --- fault injection ---
+  void FailLine(int line);     // line in {0,1}
+  void RestoreLine(int line);
+  int alive_lines() const { return (line_ok_[0] ? 1 : 0) + (line_ok_[1] ? 1 : 0); }
+
+  // Enables a §5.1 violation for negative tests. `probability` applies per
+  // destination (kDropPerDestination) or per frame (kInterleave).
+  void InjectAtomicityViolation(AtomicityViolation mode, double probability, uint64_t seed);
+
+  const BusStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BusStats{}; }
+  uint32_t num_clusters() const { return static_cast<uint32_t>(endpoints_.size()); }
+
+ private:
+  void StartNext();
+  void Deliver(const Frame& frame);
+
+  Engine& engine_;
+  BusConfig config_;
+  std::vector<BusEndpoint*> endpoints_;
+  std::deque<Frame> pending_;
+  bool transmitting_ = false;
+  bool line_ok_[2] = {true, true};
+  uint64_t next_frame_id_ = 1;
+  BusStats stats_;
+
+  AtomicityViolation violation_ = AtomicityViolation::kNone;
+  double violation_probability_ = 0.0;
+  Rng violation_rng_{0};
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BUS_INTERCLUSTER_BUS_H_

@@ -1,0 +1,81 @@
+// Tunable parameters of the simulated machine and of the fault-tolerance
+// mechanisms. The FT-relevant knobs correspond to the "system-defined"
+// values of §5.2 and §7.8 ("It is possible to set the message count and
+// execution time interval which trigger sync for each process").
+
+#ifndef AURAGEN_SRC_CORE_CONFIG_H_
+#define AURAGEN_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/bus/intercluster_bus.h"
+
+namespace auragen {
+
+// How processes are kept recoverable. kMessageSystem is the paper; the
+// others are the §2 baselines implemented in src/baselines for the
+// efficiency comparisons (experiments E2/E9).
+enum class FtStrategy : uint8_t {
+  kNone,            // no backups at all
+  kMessageSystem,   // the paper: 3-way delivery + sync + rollforward
+  kCheckpointFull,  // §2: copy the whole data space to the backup each trigger
+  kCheckpointIncremental,  // checkpoint only pages dirtied since last trigger
+  kLockstep,        // §2/Stratus: backup executes every instruction too
+};
+
+const char* FtStrategyName(FtStrategy s);
+
+inline const char* FtStrategyName(FtStrategy s) {
+  switch (s) {
+    case FtStrategy::kNone: return "none";
+    case FtStrategy::kMessageSystem: return "msgsys";
+    case FtStrategy::kCheckpointFull: return "ckpt-full";
+    case FtStrategy::kCheckpointIncremental: return "ckpt-incr";
+    case FtStrategy::kLockstep: return "lockstep";
+  }
+  return "?";
+}
+
+struct SystemConfig {
+  uint32_t num_clusters = 2;
+  uint32_t work_processors_per_cluster = 2;   // §7.1
+
+  FtStrategy strategy = FtStrategy::kMessageSystem;
+
+  // --- work-processor cost model ---
+  double us_per_work_unit = 0.5;   // one AVM instruction ≈ 0.5us (2 MIPS, M68000-era)
+  uint64_t quantum_work = 500;     // work units per dispatch
+
+  // --- executive-processor cost model (§7.1: it handles all intercluster
+  //     message traffic; §8.1: backup copies cost executive, not work, time) ---
+  SimTime exec_send_us = 4;        // take a message off the outgoing queue
+  SimTime exec_deliver_us = 3;     // distribute one arriving message locally
+  SimTime exec_sync_apply_us = 6;  // apply a sync record to a backup PCB
+
+  // --- sync triggers (§5.2, §7.8) ---
+  uint32_t sync_reads_limit = 32;        // reads since sync
+  SimTime sync_time_limit_us = 20000;    // execution time since sync
+  // Work-processor stall per dirty page enqueued at sync (§8.3: the primary
+  // is interrupted "only as long as it takes to place its dirty pages and
+  // the sync message on the outgoing queue").
+  SimTime sync_page_enqueue_us = 2;
+  SimTime sync_build_us = 10;
+
+  // --- failure detection (§7.10: periodic polling) ---
+  SimTime heartbeat_period_us = 5000;
+  SimTime heartbeat_timeout_us = 12000;  // missed ~2 heartbeats
+
+  // --- crash handling (§7.10.1) ---
+  SimTime crash_scan_per_entry_us = 1;   // routing-table patch cost per entry
+
+  BusConfig bus;
+
+  // Default backup mode for user processes (§7.3: "The default mode, at
+  // least for the first implementation, will be quarterback").
+  BackupMode default_mode = BackupMode::kQuarterback;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_CORE_CONFIG_H_

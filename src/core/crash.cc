@@ -1,0 +1,654 @@
+// Crash handling and recovery (§6, §7.10). A whole processing unit fails
+// fail-stop; surviving kernels learn via heartbeat timeout, serialize a
+// crash notice through the bus (which orders it after every message the dead
+// cluster managed to send), patch their routing tables, and bring up the
+// backups of the lost primaries. User-process backups roll forward from the
+// last sync; peripheral-server backups are already warm (§7.9).
+
+#include "src/core/kernel.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/kernel/avm_body.h"
+#include "src/servers/protocol.h"
+
+namespace auragen {
+
+void Kernel::BroadcastCrashNotice(ClusterId dead) {
+  Msg msg;
+  msg.header.kind = MsgKind::kCrashNotice;
+  msg.header.src_pid = kernel_pid_;
+  ByteWriter w;
+  w.U32(dead);
+  msg.body = w.Take();
+  ClusterMask all = 0;
+  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+    all |= MaskOf(c);
+  }
+  // Like heartbeats, the notice bypasses the outgoing queue: it must get out
+  // even while a previous crash has transmission disabled, and its position
+  // in the global bus order is the synchronization point every cluster
+  // starts crash handling from (§7.10.1).
+  env_.bus().Transmit(id_, all, msg.Encode());
+}
+
+void Kernel::HandleCrashNotice(ClusterId dead) {
+  if (dead >= crash_handled_.size() || crash_handled_[dead] || dead == id_) {
+    return;
+  }
+  crash_handled_[dead] = true;
+  peer_alive_[dead] = false;
+  if (env_.metrics().last_crash_detected_at < env_.engine().Now()) {
+    env_.metrics().last_crash_detected_at = env_.engine().Now();
+  }
+  ALOG_INFO() << "c" << id_ << ": handling crash of cluster " << dead;
+
+  // §7.10.1: transmission of outgoing messages is disabled, then two very
+  // high priority crash processes run once all previously-arrived messages
+  // are distributed. Bus serialization means everything the dead cluster
+  // sent was already delivered when the notice fired; the scan cost is
+  // charged against the work processors (the crash processes are "special
+  // high priority user processes", §8.4).
+  transmit_enabled_ = false;
+  SimTime scan_cost = env_.config().crash_scan_per_entry_us *
+                      std::max<size_t>(1, routing_.size()) /
+                      std::max<uint32_t>(1, env_.config().work_processors_per_cluster);
+  env_.metrics().work_busy_us += scan_cost;
+  env_.engine().Schedule(scan_cost, [this, dead] {
+    if (!alive_) {
+      return;
+    }
+    RunCrashHandling(dead);
+  });
+}
+
+void Kernel::PatchEntryAfterCrash(RoutingEntry& entry, ClusterId dead) {
+  if (entry.peer_primary_cluster == dead) {
+    if (entry.peer_backup_cluster != kNoCluster) {
+      // §7.10.1 step 1: the primary destination is replaced by the backup
+      // destination; fullback channels are unusable until the new backup's
+      // location arrives.
+      entry.peer_primary_cluster = entry.peer_backup_cluster;
+      entry.peer_backup_cluster = kNoCluster;
+      if (static_cast<BackupMode>(entry.peer_mode) == BackupMode::kFullback) {
+        entry.unusable = true;
+      }
+    } else {
+      entry.closed_by_peer = true;  // peer died unprotected
+    }
+  } else if (entry.peer_backup_cluster == dead) {
+    entry.peer_backup_cluster = kNoCluster;
+  }
+  if (entry.own_backup_cluster == dead) {
+    entry.own_backup_cluster = kNoCluster;
+  }
+}
+
+void Kernel::RunCrashHandling(ClusterId dead) {
+  // Step 1: patch the routing table.
+  routing_.ForEach([&](RoutingEntry& entry) { PatchEntryAfterCrash(entry, dead); });
+
+  // Step 4: adjust the outgoing queue like the routing table.
+  for (OutgoingItem& item : outgoing_) {
+    MsgHeader& h = item.msg.header;
+    item.targets &= ~MaskOf(dead);
+    if (h.dst_primary_cluster == dead) {
+      if (h.dst_backup_cluster != kNoCluster) {
+        h.dst_primary_cluster = h.dst_backup_cluster;
+        h.dst_backup_cluster = kNoCluster;
+        item.targets |= MaskOf(h.dst_primary_cluster);
+        // Fullback destination: hold until its new backup is known.
+        RoutingEntry* e = routing_.Find(h.channel, h.src_pid, /*backup=*/false);
+        if (e != nullptr && e->unusable) {
+          item.held_for = h.dst_pid;
+        }
+      } else {
+        item.targets = 0;  // destination lost for good; dropped at transmit
+      }
+    }
+    if (h.dst_backup_cluster == dead) {
+      h.dst_backup_cluster = kNoCluster;
+    }
+    if (h.src_backup_cluster == dead) {
+      h.src_backup_cluster = kNoCluster;
+    }
+  }
+
+  // Steps 2/3: make runnable the backups of lost primaries.
+  std::vector<Gpid> lost;
+  for (auto& [pid, b] : backups_) {
+    if (b.primary_cluster == dead) {
+      lost.push_back(pid);
+    }
+  }
+  for (Gpid pid : lost) {
+    BackupPcb b = std::move(backups_[pid]);
+    backups_.erase(pid);
+    TakeOver(std::move(b));
+  }
+
+  // Step 5: peripheral-server backups begin recovery (§7.10.1).
+  std::vector<Gpid> parked;
+  for (auto& [pid, pcb] : procs_) {
+    if (pcb->server_backup && pcb->primary_cluster == dead) {
+      parked.push_back(pid);
+    }
+  }
+  for (Gpid pid : parked) {
+    TakeOverParkedServer(*procs_[pid]);
+  }
+
+  // Wake readers whose peers died unprotected (they see EOF now), and
+  // re-issue page requests that may have been swallowed by the crash.
+  for (auto& [pid, pcb] : procs_) {
+    if (pcb->state == ProcState::kBlockedRead || pcb->state == ProcState::kBlockedWhich) {
+      TryCompleteBlocked(*pcb);
+    }
+  }
+  ReissuePageRequests();
+
+  transmit_enabled_ = true;
+  env_.metrics().crashes_handled++;
+  env_.metrics().last_recovery_complete_at = env_.engine().Now();
+  PumpTransmit();
+  TryDispatch();
+}
+
+void Kernel::TakeOver(BackupPcb b) {
+  Gpid pid = b.pid;
+  ALOG_INFO() << "c" << id_ << ": takeover of " << GpidStr(pid)
+              << (b.has_sync ? " (rollforward)" : " (restart)");
+  auto pcb = std::make_unique<Pcb>();
+  Pcb& p = *pcb;
+  p.pid = pid;
+  p.mode = b.mode;
+  p.parent = b.parent;
+  p.family_head = b.family_head;
+  p.is_server = b.is_server;
+  p.peripheral = b.peripheral;
+  p.sync_seq = b.sync_seq;
+  p.sig_handler = b.sig_handler;
+  p.signal_channel = b.signal_channel;
+
+  Bytes replacement_context = b.context;
+
+  const bool checkpoint_mode = env_.config().strategy == FtStrategy::kCheckpointFull ||
+                               env_.config().strategy == FtStrategy::kCheckpointIncremental;
+
+  if (b.is_server) {
+    p.body = std::make_unique<NativeBody>(env_.MakeServerProgram(pid), /*paged_ft=*/true);
+  } else if (b.has_sync) {
+    p.body = std::make_unique<AvmBody>(Executable{});
+  } else {
+    ByteReader r(b.exe);
+    p.exe = Executable::Deserialize(r);
+    p.body = std::make_unique<AvmBody>(p.exe);
+  }
+
+  if (b.has_sync) {
+    KernelContext kctx = KernelContext::Decode(b.context);
+    p.body->RestoreContext(kctx.body_context);
+    if (checkpoint_mode) {
+      // §2 baseline: state comes from the shipped checkpoint images, not
+      // from a page server; untouched pages zero-fill locally.
+      for (const auto& [page, content] : b.ckpt_pages) {
+        p.body->InstallPage(page, /*known=*/true, content);
+      }
+    } else {
+      p.body->EvictAllPages();  // §7.10.2: no pages resident; demand-fault in
+    }
+    p.next_fd = kctx.next_fd;
+    p.next_group = kctx.next_group;
+    for (const auto& [gid, fds] : kctx.groups) {
+      p.groups[gid] = fds;
+    }
+    p.fork_seq = kctx.fork_seq;
+    p.in_signal = kctx.in_signal;
+    p.ever_synced = true;
+  } else {
+    p.next_fd = 3;
+  }
+
+  // Flip the saved backup routing entries into primary entries, preserving
+  // queues (the rollforward input, §5.2) and write counts (the §5.4
+  // suppression budget).
+  std::vector<RoutingEntry*> flips = routing_.EntriesOf(pid, /*backup=*/true);
+  std::vector<RoutingEntry> copies;
+  copies.reserve(flips.size());
+  for (RoutingEntry* e : flips) {
+    copies.push_back(*e);
+    env_.metrics().rollforward_msgs_replayed += e->queue.size();
+  }
+  routing_.RemoveAllOf(pid, /*backup=*/true);
+  for (RoutingEntry& c : copies) {
+    RoutingEntry& ne = routing_.Create(c.channel, pid, /*backup=*/false);
+    Gpid owner = ne.owner;
+    ne = c;
+    ne.owner = owner;
+    ne.backup_entry = false;
+    ne.own_backup_cluster = kNoCluster;  // set below for fullbacks
+    ne.opened_since_sync = false;
+    if (ne.fd != kBadFd) {
+      p.fds[ne.fd] = FdBinding{ne.channel, static_cast<PeerKind>(ne.peer_kind)};
+    }
+    if (ne.binding_tag == kBindSignalChannel) {
+      p.signal_channel = ne.channel;
+    }
+  }
+
+  // Fork-replay inputs (§7.10.2).
+  if (auto it = birth_store_.find(pid); it != birth_store_.end()) {
+    p.pending_birth_notices = it->second;
+  }
+  for (const BirthNotice& n : b.birth_notices) {
+    bool seen = false;
+    for (const BirthNotice& have : p.pending_birth_notices) {
+      seen = seen || have.fork_seq == n.fork_seq;
+    }
+    if (!seen) {
+      p.pending_birth_notices.push_back(n);
+    }
+  }
+
+  // Backup-mode epilogue (§7.3).
+  switch (p.mode) {
+    case BackupMode::kQuarterback:
+    case BackupMode::kHalfback:
+      p.backup_cluster = kNoCluster;
+      p.backup_exists = false;
+      break;
+    case BackupMode::kFullback: {
+      ClusterId nb = env_.PlaceNewBackup(id_, kNoCluster);
+      p.backup_cluster = nb;
+      if (nb != kNoCluster) {
+        for (RoutingEntry* e : routing_.EntriesOf(pid, /*backup=*/false)) {
+          e->own_backup_cluster = nb;
+        }
+        CreateReplacementBackup(p, replacement_context);
+        p.backup_exists = true;
+      } else {
+        p.backup_cluster = kNoCluster;
+      }
+      break;
+    }
+  }
+
+  p.state = ProcState::kReady;
+  if (p.is_server) {
+    EnsureSelfEntry(p);
+  }
+  Gpid ppid = p.pid;
+  procs_[ppid] = std::move(pcb);
+  env_.metrics().takeovers++;
+  if (p.is_server) {
+    env_.OnServerTakeover(ppid, id_);
+  }
+  MakeReady(*procs_[ppid]);
+}
+
+void Kernel::TakeOverParkedServer(Pcb& pcb) {
+  ALOG_INFO() << "c" << id_ << ": peripheral server " << GpidStr(pcb.pid) << " taking over";
+  // The active backup is warm (§7.9): entries flip, suppression counts and
+  // saved (untrimmed) requests come along, and the program simply starts its
+  // read-service loop against the saved queue.
+  std::vector<RoutingEntry*> flips = routing_.EntriesOf(pcb.pid, /*backup=*/true);
+  std::vector<RoutingEntry> copies;
+  for (RoutingEntry* e : flips) {
+    copies.push_back(*e);
+    env_.metrics().rollforward_msgs_replayed += e->queue.size();
+  }
+  routing_.RemoveAllOf(pcb.pid, /*backup=*/true);
+  for (RoutingEntry& c : copies) {
+    RoutingEntry& ne = routing_.Create(c.channel, pcb.pid, /*backup=*/false);
+    ne = c;
+    ne.owner = pcb.pid;
+    ne.backup_entry = false;
+    ne.own_backup_cluster = kNoCluster;  // halfback: re-backed when the
+                                         // original cluster returns (§7.3)
+  }
+  pcb.server_backup = false;
+  pcb.backup_cluster = kNoCluster;
+  pcb.primary_cluster = kNoCluster;
+  pcb.state = ProcState::kReady;
+  EnsureSelfEntry(pcb);
+  env_.metrics().takeovers++;
+  env_.OnServerTakeover(pcb.pid, id_);
+  MakeReady(pcb);
+}
+
+void Kernel::CreateReplacementBackup(Pcb& pcb, const Bytes& sync_context) {
+  BackupCreateBody body;
+  body.pid = pcb.pid;
+  body.mode = pcb.mode;
+  body.parent = pcb.parent;
+  body.family_head = pcb.family_head;
+  body.primary_cluster = id_;
+  body.has_sync = pcb.ever_synced;
+  body.is_server = pcb.is_server;
+  body.sync_seq = pcb.sync_seq;
+  body.context = sync_context;
+  body.sig_handler = pcb.sig_handler;
+  if (!pcb.is_server && !pcb.ever_synced) {
+    ByteWriter w;
+    pcb.exe.Serialize(w);
+    body.exe = w.Take();
+  }
+  for (const auto& [fd, binding] : pcb.fds) {
+    body.fds.emplace_back(fd, binding.channel.value);
+  }
+  for (RoutingEntry* e : routing_.EntriesOf(pcb.pid, /*backup=*/false)) {
+    SavedQueueRecord rec;
+    rec.channel = e->channel;
+    rec.fd = e->fd;
+    rec.peer_pid = e->peer_pid;
+    rec.peer_primary_cluster = e->peer_primary_cluster;
+    rec.peer_backup_cluster = e->peer_backup_cluster;
+    rec.peer_kind = e->peer_kind;
+    rec.peer_mode = e->peer_mode;
+    // The remaining §5.4 suppression budget travels: it counts sends already
+    // delivered to the world since the last sync (by the dead primary or by
+    // us); a replacement backup rolling forward must skip exactly those.
+    rec.writes_since_sync = e->writes_since_sync;
+    for (const QueuedMsg& q : e->queue) {
+      rec.queued.push_back(q.msg.Encode());
+    }
+    body.queues.push_back(std::move(rec));
+  }
+
+  Msg create;
+  create.header.kind = MsgKind::kBackupCreate;
+  create.header.src_pid = kernel_pid_;
+  create.header.dst_pid = pcb.pid;
+  create.body = body.Encode();
+  env_.metrics().backup_create_bytes += create.body.size();
+  EnqueueOutgoing(std::move(create), MaskOf(pcb.backup_cluster));
+
+  // §7.10.1: once the new backup's location is known, peers unfreeze their
+  // channels. Bus FIFO guarantees the create lands before the ready.
+  Msg ready;
+  ready.header.kind = MsgKind::kBackupReady;
+  ready.header.src_pid = kernel_pid_;
+  ready.header.dst_pid = pcb.pid;
+  ByteWriter w;
+  w.U64(pcb.pid.value);
+  w.U32(pcb.backup_cluster);
+  ready.body = w.Take();
+  ClusterMask all = 0;
+  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+    if (peer_alive_[c] || c == id_) {
+      all |= MaskOf(c);
+    }
+  }
+  EnqueueOutgoing(std::move(ready), all);
+}
+
+void Kernel::HandleBackupCreate(const BackupCreateBody& body, ClusterId from) {
+  (void)from;
+  if (body.peripheral) {
+    // Halfback re-backup (§7.3): materialize a parked *active* backup with
+    // the shipped program state and saved queues.
+    auto pcb = std::make_unique<Pcb>();
+    Pcb& p = *pcb;
+    p.pid = body.pid;
+    p.mode = body.mode;
+    p.is_server = true;
+    p.peripheral = true;
+    p.server_backup = true;
+    p.primary_cluster = body.primary_cluster;
+    p.state = ProcState::kParkedBackup;
+    auto program = env_.MakeServerProgram(body.pid);
+    ByteReader state(body.context);
+    program->RestoreState(state);
+    p.body = std::make_unique<NativeBody>(std::move(program), /*paged_ft=*/false);
+    for (const SavedQueueRecord& rec : body.queues) {
+      RoutingEntry& e = routing_.Create(rec.channel, body.pid, /*backup=*/true);
+      e.fd = rec.fd;
+      e.peer_pid = rec.peer_pid;
+      e.peer_primary_cluster = rec.peer_primary_cluster;
+      e.peer_backup_cluster = rec.peer_backup_cluster;
+      e.peer_kind = rec.peer_kind;
+      e.peer_mode = rec.peer_mode;
+      e.own_backup_cluster = id_;
+      e.opened_since_sync = false;
+      for (const Bytes& m : rec.queued) {
+        QueuedMsg q;
+        q.arrival_seq = next_arrival_seq_++;
+        q.msg = Msg::Decode(m);
+        e.queue.push_back(std::move(q));
+      }
+    }
+    procs_[body.pid] = std::move(pcb);
+    env_.metrics().backups_created++;
+    return;
+  }
+  BackupPcb b;
+  b.pid = body.pid;
+  b.mode = body.mode;
+  b.parent = body.parent;
+  b.family_head = body.family_head;
+  b.primary_cluster = body.primary_cluster;
+  b.has_sync = body.has_sync;
+  b.is_server = body.is_server;
+  b.sync_seq = body.sync_seq;
+  b.context = body.context;
+  b.sig_handler = body.sig_handler;
+  b.exe = body.exe;
+  for (const auto& [fd, chan] : body.fds) {
+    b.fds[fd] = ChannelId{chan};
+  }
+  for (const SavedQueueRecord& rec : body.queues) {
+    RoutingEntry& e = routing_.Create(rec.channel, body.pid, /*backup=*/true);
+    e.fd = rec.fd;
+    e.peer_pid = rec.peer_pid;
+    e.peer_primary_cluster = rec.peer_primary_cluster;
+    e.peer_backup_cluster = rec.peer_backup_cluster;
+    e.peer_kind = rec.peer_kind;
+    e.peer_mode = rec.peer_mode;
+    e.own_backup_cluster = id_;
+    e.writes_since_sync = rec.writes_since_sync;
+    e.opened_since_sync = false;
+    for (const Bytes& m : rec.queued) {
+      QueuedMsg q;
+      q.arrival_seq = next_arrival_seq_++;
+      q.msg = Msg::Decode(m);
+      e.queue.push_back(std::move(q));
+    }
+    if (e.binding_tag == kBindSignalChannel) {
+      b.signal_channel = e.channel;
+    }
+  }
+  backups_[body.pid] = std::move(b);
+  env_.metrics().backups_created++;
+}
+
+void Kernel::HandleBackupReady(Gpid pid, ClusterId new_backup) {
+  routing_.ForEach([&](RoutingEntry& entry) {
+    if (entry.peer_pid == pid) {
+      entry.peer_backup_cluster = new_backup;
+      entry.unusable = false;
+    }
+  });
+  bool released = false;
+  for (OutgoingItem& item : outgoing_) {
+    if (item.held_for == pid) {
+      item.held_for = Gpid{};
+      item.msg.header.dst_backup_cluster = new_backup;
+      item.targets |= MaskOf(new_backup);
+      released = true;
+    }
+  }
+  if (released) {
+    PumpTransmit();
+  }
+}
+
+// --------------------------- §10 extension: individual-process failure
+
+void Kernel::FailProcess(Gpid pid) {
+  Pcb* pcb = FindProcess(pid);
+  if (pcb == nullptr) {
+    return;
+  }
+  ALOG_INFO() << "c" << id_ << ": process fault kills " << GpidStr(pid);
+  // The process vanishes as a hardware fault would take it: no exit notice,
+  // no channel closes — peers and the backup learn via the crash notice.
+  routing_.RemoveAllOf(pid, /*backup=*/false);
+  procs_.erase(pid);
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    it = *it == pid ? ready_.erase(it) : std::next(it);
+  }
+  Msg notice;
+  notice.header.kind = MsgKind::kProcCrash;
+  notice.header.src_pid = kernel_pid_;
+  notice.header.dst_pid = pid;
+  ByteWriter w;
+  w.U64(pid.value);
+  w.U32(id_);
+  notice.body = w.Take();
+  ClusterMask all = 0;
+  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+    all |= MaskOf(c);
+  }
+  EnqueueOutgoing(std::move(notice), all);
+}
+
+void Kernel::HandleProcCrash(Gpid pid, ClusterId at) {
+  // Scoped version of RunCrashHandling: only entries referring to this one
+  // process are patched, and only its backup is brought up.
+  routing_.ForEach([&](RoutingEntry& entry) {
+    if (entry.peer_pid != pid) {
+      return;
+    }
+    if (entry.peer_primary_cluster == at) {
+      if (entry.peer_backup_cluster != kNoCluster) {
+        entry.peer_primary_cluster = entry.peer_backup_cluster;
+        entry.peer_backup_cluster = kNoCluster;
+        if (static_cast<BackupMode>(entry.peer_mode) == BackupMode::kFullback) {
+          entry.unusable = true;
+        }
+      } else {
+        entry.closed_by_peer = true;
+      }
+    }
+  });
+  for (OutgoingItem& item : outgoing_) {
+    MsgHeader& h = item.msg.header;
+    if (h.dst_pid != pid || h.dst_primary_cluster != at) {
+      continue;
+    }
+    if (h.dst_backup_cluster != kNoCluster) {
+      item.targets &= ~MaskOf(at);
+      h.dst_primary_cluster = h.dst_backup_cluster;
+      h.dst_backup_cluster = kNoCluster;
+      item.targets |= MaskOf(h.dst_primary_cluster);
+    } else {
+      item.targets = 0;
+    }
+  }
+  auto bit = backups_.find(pid);
+  if (bit != backups_.end() && bit->second.primary_cluster == at) {
+    BackupPcb b = std::move(bit->second);
+    backups_.erase(bit);
+    TakeOver(std::move(b));
+  }
+  for (auto& [ppid, pcb] : procs_) {
+    if (pcb->state == ProcState::kBlockedRead || pcb->state == ProcState::kBlockedWhich) {
+      TryCompleteBlocked(*pcb);
+    }
+  }
+  PumpTransmit();
+}
+
+// ----------------------- §7.3 halfback return-to-service re-backup
+
+void Kernel::RecreateServerBackup(Gpid pid, ClusterId target) {
+  Pcb* pcb = FindProcess(pid);
+  if (pcb == nullptr || !pcb->peripheral || pcb->server_backup) {
+    return;
+  }
+  auto* nb = dynamic_cast<NativeBody*>(pcb->body.get());
+  if (nb == nullptr) {
+    return;
+  }
+  BackupCreateBody body;
+  body.pid = pid;
+  body.mode = pcb->mode;
+  body.primary_cluster = id_;
+  body.has_sync = true;
+  body.is_server = true;
+  body.peripheral = true;
+  ByteWriter state;
+  nb->program().SerializeState(state);
+  body.context = state.Take();
+  for (RoutingEntry* e : routing_.EntriesOf(pid, /*backup=*/false)) {
+    e->own_backup_cluster = target;
+    SavedQueueRecord rec;
+    rec.channel = e->channel;
+    rec.fd = e->fd;
+    rec.peer_pid = e->peer_pid;
+    rec.peer_primary_cluster = e->peer_primary_cluster;
+    rec.peer_backup_cluster = e->peer_backup_cluster;
+    rec.peer_kind = e->peer_kind;
+    rec.peer_mode = e->peer_mode;
+    // The remaining §5.4 suppression budget travels: it counts sends already
+    // delivered to the world since the last sync (by the dead primary or by
+    // us); a replacement backup rolling forward must skip exactly those.
+    rec.writes_since_sync = e->writes_since_sync;
+    // Unserviced requests travel so the new backup's saved queues match.
+    for (const QueuedMsg& q : e->queue) {
+      rec.queued.push_back(q.msg.Encode());
+    }
+    body.queues.push_back(std::move(rec));
+  }
+  pcb->backup_cluster = target;
+
+  Msg create;
+  create.header.kind = MsgKind::kBackupCreate;
+  create.header.src_pid = kernel_pid_;
+  create.header.dst_pid = pid;
+  create.body = body.Encode();
+  env_.metrics().backup_create_bytes += create.body.size();
+  EnqueueOutgoing(std::move(create), MaskOf(target));
+
+  // Peers resume triple-sending to the new backup location.
+  Msg ready;
+  ready.header.kind = MsgKind::kBackupReady;
+  ready.header.src_pid = kernel_pid_;
+  ready.header.dst_pid = pid;
+  ByteWriter w;
+  w.U64(pid.value);
+  w.U32(target);
+  ready.body = w.Take();
+  ClusterMask all = 0;
+  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+    all |= MaskOf(c);
+  }
+  EnqueueOutgoing(std::move(ready), all);
+}
+
+void Kernel::HandleServerSync(const Msg& msg) {
+  Pcb* pcb = FindProcess(msg.header.dst_pid);
+  if (pcb == nullptr || !pcb->server_backup) {
+    return;
+  }
+  ByteReader r(msg.body);
+  ServerSyncPrefix prefix = ServerSyncPrefix::Deserialize(r);
+  for (const auto& [chan, count] : prefix.serviced) {
+    RoutingEntry* e = routing_.Find(chan, pcb->pid, /*backup=*/true);
+    if (e == nullptr) {
+      continue;
+    }
+    for (uint32_t i = 0; i < count && !e->queue.empty(); ++i) {
+      e->queue.pop_front();
+      env_.metrics().backup_msgs_trimmed++;
+    }
+    e->writes_since_sync = 0;
+  }
+  auto* nb = dynamic_cast<NativeBody*>(pcb->body.get());
+  if (nb != nullptr) {
+    nb->program().ApplyServerSync(r);
+  }
+}
+
+}  // namespace auragen

@@ -1,0 +1,320 @@
+// Executive-processor model: outgoing-queue drain, frame reception, and the
+// three-role message distribution of §5.1/§7.4.2. Everything here runs "on
+// the executive processor" — its costs accrue to Metrics::exec_busy_us, not
+// work_busy_us, which is how experiment E1 checks §8.1's claim.
+
+#include "src/core/kernel.h"
+
+#include "src/base/log.h"
+#include "src/servers/protocol.h"
+
+namespace auragen {
+
+void Kernel::ExecEnqueue(SimTime cost, std::function<void()> fn) {
+  exec_queue_.push_back(ExecItem{cost, std::move(fn)});
+  ExecPump();
+}
+
+void Kernel::ExecPump() {
+  if (exec_busy_ || exec_queue_.empty() || !alive_) {
+    return;
+  }
+  exec_busy_ = true;
+  ExecItem item = std::move(exec_queue_.front());
+  exec_queue_.pop_front();
+  env_.metrics().exec_busy_us += item.cost;
+  env_.engine().Schedule(item.cost, [this, fn = std::move(item.fn)] {
+    if (!alive_) {
+      return;
+    }
+    exec_busy_ = false;
+    fn();
+    ExecPump();
+  });
+}
+
+ClusterMask Kernel::TargetsOf(const RoutingEntry& entry) const {
+  ClusterMask mask = 0;
+  if (entry.peer_primary_cluster != kNoCluster) {
+    mask |= MaskOf(entry.peer_primary_cluster);
+  }
+  if (entry.peer_backup_cluster != kNoCluster) {
+    mask |= MaskOf(entry.peer_backup_cluster);
+  }
+  if (entry.own_backup_cluster != kNoCluster &&
+      env_.config().strategy == FtStrategy::kMessageSystem) {
+    mask |= MaskOf(entry.own_backup_cluster);
+  }
+  return mask;
+}
+
+void Kernel::EnqueueOutgoing(Msg msg, ClusterMask targets) {
+  if (!alive_) {
+    return;
+  }
+  OutgoingItem item;
+  item.msg = std::move(msg);
+  item.targets = targets;
+  outgoing_.push_back(std::move(item));
+  PumpTransmit();
+}
+
+void Kernel::PumpTransmit() {
+  if (transmit_pumping_ || !transmit_enabled_ || !alive_) {
+    return;
+  }
+  // Is anything transmittable (not held for a fullback re-creation)?
+  bool any = false;
+  for (const OutgoingItem& item : outgoing_) {
+    if (!item.held_for.valid()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return;
+  }
+  transmit_pumping_ = true;
+  ExecEnqueue(env_.config().exec_send_us, [this] {
+    transmit_pumping_ = false;
+    if (!transmit_enabled_) {
+      return;
+    }
+    for (auto it = outgoing_.begin(); it != outgoing_.end(); ++it) {
+      if (it->held_for.valid()) {
+        continue;
+      }
+      Msg msg = std::move(it->msg);
+      ClusterMask targets = it->targets;
+      outgoing_.erase(it);
+      if (targets != 0) {
+        env_.bus().Transmit(id_, targets, msg.Encode());
+      }
+      break;
+    }
+    PumpTransmit();
+  });
+}
+
+void Kernel::OnFrame(const Frame& frame) {
+  if (!alive_) {
+    return;
+  }
+  Msg msg = Msg::Decode(frame.payload);
+  if (msg.header.kind == MsgKind::kHeartbeat) {
+    // Heartbeats are handled by the bus interface hardware directly; they
+    // cost no executive time and cannot be delayed behind message work.
+    if (frame.src < last_heartbeat_.size()) {
+      last_heartbeat_[frame.src] = env_.engine().Now();
+      if (!peer_alive_[frame.src] && crash_handled_[frame.src]) {
+        // A crashed cluster is beating again: it restarted (halfback path).
+        peer_alive_[frame.src] = true;
+        crash_handled_[frame.src] = false;
+      }
+    }
+    return;
+  }
+  ExecEnqueue(env_.config().exec_deliver_us, [this, msg = std::move(msg)] {
+    DeliverLocal(msg);
+  });
+}
+
+void Kernel::EnqueueAtEntry(RoutingEntry& entry, const Msg& msg) {
+  QueuedMsg q;
+  q.arrival_seq = next_arrival_seq_++;
+  q.msg = msg;
+  entry.queue.push_back(std::move(q));
+}
+
+void Kernel::DeliverLocal(const Msg& msg) {
+  const MsgHeader& h = msg.header;
+  switch (h.kind) {
+    case MsgKind::kUser:
+    case MsgKind::kOpenReply:
+    case MsgKind::kSignal:
+    case MsgKind::kClose:
+    case MsgKind::kPageWrite:
+    case MsgKind::kPageRequest:
+    case MsgKind::kSync:
+      break;  // channel-routed below
+    default:
+      HandleControl(msg);
+      return;
+  }
+
+  // §7.4.2: the executive determines which of the three roles this cluster
+  // plays; co-resident roles are all served from the single transmission.
+  if (h.dst_primary_cluster == id_) {
+    RoutingEntry* entry = routing_.Find(h.channel, h.dst_pid, /*backup=*/false);
+    if (entry != nullptr) {
+      if (h.kind == MsgKind::kClose) {
+        entry->closed_by_peer = true;
+      } else {
+        EnqueueAtEntry(*entry, msg);
+        env_.metrics().deliveries_primary++;
+      }
+      WakeReaders(*entry);
+      if (h.kind == MsgKind::kSignal) {
+        // Interrupt a restartable wait right away (§7.5.2); otherwise the
+        // signal is picked up at the next dispatch boundary.
+        auto it = procs_.find(h.dst_pid);
+        if (it != procs_.end()) {
+          DeliverPendingSignal(*it->second);
+          if (it->second->state == ProcState::kReady && !it->second->dispatched) {
+            MakeReady(*it->second);
+          }
+        }
+      }
+    } else if (h.dst_pid == kernel_pid_) {
+      // Kernel-addressed channel traffic (page replies ride kPageWrite-like
+      // paths only toward servers; nothing else lands here today).
+      ALOG_DEBUG() << "c" << id_ << ": kernel-addressed " << MsgKindName(h.kind);
+    } else {
+      ALOG_DEBUG() << "c" << id_ << ": no primary entry for ch " << h.channel.value << " "
+                   << GpidStr(h.dst_pid) << " kind " << MsgKindName(h.kind);
+    }
+  }
+
+  if (h.dst_backup_cluster == id_) {
+    RoutingEntry* entry = routing_.Find(h.channel, h.dst_pid, /*backup=*/true);
+    if (entry != nullptr) {
+      if (h.kind == MsgKind::kClose) {
+        entry->closed_by_peer = true;
+      } else {
+        EnqueueAtEntry(*entry, msg);
+        env_.metrics().deliveries_backup++;
+      }
+    }
+    if (h.kind == MsgKind::kOpenReply) {
+      // §7.4.1: "The arrival of an open reply at a backup cluster causes the
+      // creation of the backup routing table entry."
+      OpenReplyBody reply = OpenReplyBody::Decode(msg.body);
+      if (reply.status == 0) {
+        RoutingEntry* existing = routing_.Find(reply.channel, h.dst_pid, /*backup=*/true);
+        if (existing == nullptr) {
+          RoutingEntry& ne = routing_.Create(reply.channel, h.dst_pid, /*backup=*/true);
+          ne.peer_pid = reply.peer_pid;
+          ne.peer_primary_cluster = reply.peer_primary_cluster;
+          ne.peer_backup_cluster = reply.peer_backup_cluster;
+          ne.peer_kind = reply.peer_kind;
+          ne.peer_mode = reply.peer_mode;
+          ne.own_backup_cluster = id_;
+        }
+      }
+    }
+  }
+
+  if (h.src_backup_cluster == id_) {
+    // Third destination (§5.1): count and discard.
+    RoutingEntry* entry = routing_.Find(h.channel, h.src_pid, /*backup=*/true);
+    if (entry != nullptr && h.kind != MsgKind::kClose) {
+      entry->writes_since_sync++;
+      env_.metrics().deliveries_count_only++;
+    }
+  }
+
+  if (h.kind == MsgKind::kSync) {
+    // Beyond the page-server channel delivery above, a sync message updates
+    // the backup PCB when this cluster hosts it (§7.8).
+    SyncRecord record = SyncRecord::Decode(msg.body);
+    if (record.backup_cluster == id_) {
+      ExecEnqueue(env_.config().exec_sync_apply_us, [this, record = std::move(record)] {
+        ApplySyncAtBackup(record);
+      });
+    }
+  }
+}
+
+void Kernel::WakeReaders(const RoutingEntry& entry) {
+  auto it = procs_.find(entry.owner);
+  if (it == procs_.end()) {
+    return;
+  }
+  Pcb& pcb = *it->second;
+  if (pcb.state != ProcState::kBlockedRead && pcb.state != ProcState::kBlockedWhich) {
+    return;
+  }
+  // Completing a blocked read pops the message and finishes the syscall;
+  // TryCompleteBlocked no-ops when this arrival does not satisfy the wait.
+  TryCompleteBlocked(pcb);
+}
+
+void Kernel::HandleControl(const Msg& msg) {
+  switch (msg.header.kind) {
+    case MsgKind::kChanCreate: {
+      ChanCreate c = ChanCreate::Decode(msg.body);
+      // Never clobber queues/counters of an existing entry: replayed forks
+      // and duplicate notices re-announce channels that already carry saved
+      // traffic. Only refresh the addressing.
+      RoutingEntry* existing = routing_.Find(c.channel, c.owner, c.backup_entry);
+      RoutingEntry& e = existing != nullptr
+                            ? *existing
+                            : routing_.Create(c.channel, c.owner, c.backup_entry);
+      e.fd = c.fd;
+      e.peer_pid = c.peer_pid;
+      e.peer_primary_cluster = c.peer_primary_cluster;
+      e.peer_backup_cluster = c.peer_backup_cluster;
+      e.own_backup_cluster = c.own_backup_cluster;
+      e.peer_kind = c.peer_kind;
+      e.peer_mode = c.peer_mode;
+      e.binding_tag = c.binding_tag;
+      break;
+    }
+    case MsgKind::kBirthNotice:
+      HandleBirthNotice(BirthNotice::Decode(msg.body));
+      break;
+    case MsgKind::kExitNotice:
+      HandleExitNotice(msg.header.dst_pid);
+      break;
+    case MsgKind::kCrashNotice: {
+      ByteReader r(msg.body);
+      HandleCrashNotice(static_cast<ClusterId>(r.U32()));
+      break;
+    }
+    case MsgKind::kBackupCreate:
+      HandleBackupCreate(BackupCreateBody::Decode(msg.body),
+                         msg.header.src_pid.origin_cluster());
+      break;
+    case MsgKind::kBackupReady: {
+      ByteReader r(msg.body);
+      Gpid pid;
+      pid.value = r.U64();
+      ClusterId nb = r.U32();
+      HandleBackupReady(pid, nb);
+      break;
+    }
+    case MsgKind::kServerSync:
+      HandleServerSync(msg);
+      break;
+    case MsgKind::kCheckpoint:
+      ApplyCheckpointAtBackup(msg);
+      break;
+    case MsgKind::kProcCrash: {
+      ByteReader r(msg.body);
+      Gpid pid;
+      pid.value = r.U64();
+      ClusterId at = r.U32();
+      HandleProcCrash(pid, at);
+      break;
+    }
+    case MsgKind::kPageReply:
+      if (msg.header.dst_primary_cluster == id_) {
+        HandlePageReply(PageReplyBody::Decode(msg.body));
+      }
+      if (msg.header.src_backup_cluster == id_) {
+        // Count the page server's reply at its backup (suppression on
+        // server rollforward).
+        RoutingEntry* entry =
+            routing_.Find(msg.header.channel, msg.header.src_pid, /*backup=*/true);
+        if (entry != nullptr) {
+          entry->writes_since_sync++;
+        }
+      }
+      break;
+    default:
+      ALOG_WARN() << "c" << id_ << ": unhandled control " << MsgKindName(msg.header.kind);
+      break;
+  }
+}
+
+}  // namespace auragen

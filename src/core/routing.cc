@@ -1,0 +1,51 @@
+#include "src/core/routing.h"
+
+#include <utility>
+
+namespace auragen {
+
+RoutingEntry& RoutingTable::Create(ChannelId channel, Gpid owner, bool backup_entry) {
+  Key key{channel, owner, backup_entry};
+  RoutingEntry entry;
+  entry.channel = channel;
+  entry.owner = owner;
+  entry.backup_entry = backup_entry;
+  auto [it, _] = entries_.insert_or_assign(key, std::move(entry));
+  return it->second;
+}
+
+RoutingEntry* RoutingTable::Find(ChannelId channel, Gpid owner, bool backup_entry) {
+  auto it = entries_.find(Key{channel, owner, backup_entry});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const RoutingEntry* RoutingTable::Find(ChannelId channel, Gpid owner, bool backup_entry) const {
+  auto it = entries_.find(Key{channel, owner, backup_entry});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void RoutingTable::Remove(ChannelId channel, Gpid owner, bool backup_entry) {
+  entries_.erase(Key{channel, owner, backup_entry});
+}
+
+std::vector<RoutingEntry*> RoutingTable::EntriesOf(Gpid owner, bool backup_entry) {
+  std::vector<RoutingEntry*> out;
+  for (auto& [key, entry] : entries_) {
+    if (entry.owner == owner && entry.backup_entry == backup_entry) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+void RoutingTable::RemoveAllOf(Gpid owner, bool backup_entry) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner == owner && it->second.backup_entry == backup_entry) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace auragen

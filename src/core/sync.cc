@@ -1,0 +1,486 @@
+// Synchronization of a primary with its backup (§5.2, §7.8), demand paging
+// against the page server (§7.6, §7.10.2), and the §2 explicit-checkpointing
+// baseline.
+
+#include "src/core/kernel.h"
+
+#include "src/base/log.h"
+#include "src/kernel/avm_body.h"
+#include "src/servers/protocol.h"
+
+namespace auragen {
+
+RoutingEntry* Kernel::KernelPageEntry() {
+  for (RoutingEntry* e : routing_.EntriesOf(kernel_pid_, /*backup=*/false)) {
+    if (e->binding_tag == kBindPageChannel) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::SendKernelChannel(RoutingEntry& entry, MsgKind kind, Bytes body) {
+  Msg msg;
+  msg.header.kind = kind;
+  msg.header.src_pid = kernel_pid_;
+  msg.header.dst_pid = entry.peer_pid;
+  msg.header.channel = entry.channel;
+  msg.header.dst_primary_cluster = entry.peer_primary_cluster;
+  msg.header.dst_backup_cluster = entry.peer_backup_cluster;
+  msg.header.src_backup_cluster = kNoCluster;
+  msg.body = std::move(body);
+  EnqueueOutgoing(std::move(msg), TargetsOf(entry));
+}
+
+bool Kernel::CanSyncNow(const Pcb& pcb) const {
+  if (pcb.backup_cluster == kNoCluster || pcb.peripheral ||
+      pcb.state == ProcState::kExited) {
+    return false;
+  }
+  if (!pcb.body->SyncReady()) {
+    return false;
+  }
+  switch (pcb.state) {
+    case ProcState::kReady:
+    case ProcState::kBlockedWhich:
+      return true;
+    case ProcState::kBlockedRead:
+      // A read we can rewind and re-issue; waits for replies to requests we
+      // already sent (open/writev/gettime) are postponed instead — capturing
+      // there would make the restored backup resend the request (§5.4 note).
+      return !pcb.blocked_side_effects;
+    default:
+      return false;
+  }
+}
+
+void Kernel::MaybeTriggerSync(Pcb& pcb) {
+  if (pcb.dispatched) {
+    // Reentrant call: CompleteAndReady -> MakeReady -> TryDispatch already
+    // advanced this body to its next syscall. Its own FinishRun will check
+    // the triggers at the proper quiescent point.
+    return;
+  }
+  const SystemConfig& cfg = env_.config();
+  uint32_t reads_limit = pcb.sync_reads_limit != 0 ? pcb.sync_reads_limit : cfg.sync_reads_limit;
+  SimTime time_limit = pcb.sync_time_limit_us != 0 ? pcb.sync_time_limit_us
+                                                   : cfg.sync_time_limit_us;
+  bool due = pcb.reads_since_sync >= reads_limit || pcb.exec_us_since_sync >= time_limit;
+  if (!due) {
+    return;
+  }
+  switch (cfg.strategy) {
+    case FtStrategy::kMessageSystem:
+      if (CanSyncNow(pcb)) {
+        ForceSync(pcb, /*signal_forced=*/false);
+      }
+      break;
+    case FtStrategy::kCheckpointFull:
+    case FtStrategy::kCheckpointIncremental:
+      if (pcb.backup_cluster != kNoCluster && pcb.body->SyncReady() && !pcb.peripheral) {
+        ForceCheckpoint(pcb);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
+  if (!CanSyncNow(pcb)) {
+    return;
+  }
+  const SystemConfig& cfg = env_.config();
+  Metrics& m = env_.metrics();
+
+  // §7.7: a parent's sync forces children that do not yet have backups to
+  // sync first, so their page accounts exist before the parent's state
+  // (which already references the fork) becomes the recovery point.
+  for (auto& [cpid, child] : procs_) {
+    if (child->parent == pcb.pid && !child->backup_exists && !child->dispatched &&
+        child->backup_cluster != kNoCluster && child.get() != &pcb) {
+      if (CanSyncNow(*child)) {
+        ForceSync(*child, false);
+      }
+    }
+  }
+  SimTime stall = cfg.sync_build_us;
+
+  // Part 1 (§7.8): ship pages dirtied since the last sync to the page
+  // server. The primary pays only the enqueue cost; transmission and the
+  // page server's work happen behind its back (§8.3).
+  RoutingEntry* page_entry = KernelPageEntry();
+  std::vector<PageNum> dirty = pcb.body->DirtyPages();
+  if (page_entry != nullptr) {
+    for (PageNum page : dirty) {
+      PageWriteBody body;
+      body.pid = pcb.pid;
+      body.page = page;
+      body.content = pcb.body->PageContent(page);
+      m.sync_pages_shipped++;
+      m.sync_bytes_shipped += body.content.size();
+      SendKernelChannel(*page_entry, MsgKind::kPageWrite, body.Encode());
+      stall += cfg.sync_page_enqueue_us;
+    }
+  } else {
+    AURAGEN_CHECK(dirty.empty() || cfg.strategy != FtStrategy::kMessageSystem ||
+                  page_entry != nullptr)
+        << "dirty pages with no page server attached";
+  }
+  pcb.body->ClearDirty();
+
+  // Part 2: the sync message proper — small, cluster-independent state plus
+  // per-channel deltas — sent atomically to the backup cluster, the page
+  // server, and the page server's backup (§7.8: "either all or none of the
+  // destinations get the sync message", which is why the page account can
+  // never run ahead of the backup PCB).
+  SyncRecord record;
+  record.pid = pcb.pid;
+  record.sync_seq = ++pcb.sync_seq;
+  record.first_sync = !pcb.ever_synced;
+  record.backup_cluster = pcb.backup_cluster;
+  record.primary_cluster = id_;
+  record.mode = static_cast<uint8_t>(pcb.mode);
+  record.parent = pcb.parent;
+  record.family_head = pcb.family_head;
+  record.sig_handler = pcb.sig_handler;
+  record.exec_us = pcb.exec_us_total;
+
+  KernelContext kctx;
+  kctx.body_context = pcb.body->CaptureContext();
+  kctx.next_fd = pcb.next_fd;
+  kctx.next_group = pcb.next_group;
+  for (const auto& [gid, fds] : pcb.groups) {
+    kctx.groups.emplace_back(gid, fds);
+  }
+  kctx.fork_seq = pcb.fork_seq;
+  kctx.in_signal = pcb.in_signal;
+  record.context = kctx.Encode();
+
+  std::vector<ChannelId> closed;
+  for (RoutingEntry* e : routing_.EntriesOf(pcb.pid, /*backup=*/false)) {
+    bool changed = e->opened_since_sync || e->closed_local || e->reads_since_sync > 0 ||
+                   e->written_since_sync;
+    if (!changed) {
+      continue;
+    }
+    SyncChannelRecord rec;
+    rec.channel = e->channel;
+    rec.fd = e->fd;
+    rec.opened_since_sync = e->opened_since_sync;
+    rec.closed_since_sync = e->closed_local;
+    rec.reads_since_sync = e->reads_since_sync;
+    record.channels.push_back(rec);
+    e->opened_since_sync = false;
+    e->reads_since_sync = 0;
+    e->written_since_sync = false;
+    if (e->closed_local) {
+      closed.push_back(e->channel);
+    }
+  }
+  for (ChannelId ch : closed) {
+    routing_.Remove(ch, pcb.pid, /*backup=*/false);
+  }
+
+  Msg msg;
+  msg.header.kind = MsgKind::kSync;
+  msg.header.src_pid = pcb.pid;
+  ClusterMask targets = MaskOf(pcb.backup_cluster);
+  if (page_entry != nullptr) {
+    msg.header.dst_pid = page_entry->peer_pid;
+    msg.header.channel = page_entry->channel;
+    msg.header.dst_primary_cluster = page_entry->peer_primary_cluster;
+    msg.header.dst_backup_cluster = page_entry->peer_backup_cluster;
+    targets |= TargetsOf(*page_entry);
+  }
+  msg.header.src_backup_cluster = kNoCluster;
+  msg.body = record.Encode();
+  EnqueueOutgoing(std::move(msg), targets);
+
+  pcb.reads_since_sync = 0;
+  pcb.exec_us_since_sync = 0;
+  pcb.ever_synced = true;
+  pcb.backup_exists = true;
+
+  m.syncs++;
+  m.sync_primary_stall_us += stall;
+  if (signal_forced) {
+    m.forced_signal_syncs++;
+  }
+  // The stall is work-processor time the primary loses (§8.3).
+  m.work_busy_us += stall;
+  pcb.exec_us_total += stall;
+  pcb.stall_until = env_.engine().Now() + stall;
+}
+
+void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
+  auto [it, created] = backups_.try_emplace(record.pid);
+  BackupPcb& b = it->second;
+  if (created) {
+    b.pid = record.pid;
+    b.mode = static_cast<BackupMode>(record.mode);
+    b.parent = record.parent;
+    b.family_head = record.family_head;
+    env_.metrics().backups_created++;
+  }
+  b.primary_cluster = record.primary_cluster;
+  b.has_sync = true;
+  b.sync_seq = record.sync_seq;
+  b.context = record.context;
+  b.sig_handler = record.sig_handler;
+
+  for (const SyncChannelRecord& rec : record.channels) {
+    RoutingEntry* entry = routing_.Find(rec.channel, record.pid, /*backup=*/true);
+    if (rec.closed_since_sync) {
+      if (entry != nullptr) {
+        routing_.Remove(rec.channel, record.pid, /*backup=*/true);
+      }
+      if (rec.fd != kBadFd) {
+        b.fds.erase(rec.fd);
+      }
+      continue;
+    }
+    if (entry == nullptr) {
+      // The entry should have been created by a ChanCreate / open reply /
+      // birth notice that, per bus FIFO, precedes this sync. Seeing none is
+      // a bug in entry fabrication, not a race.
+      ALOG_WARN() << "c" << id_ << ": sync for unknown backup entry ch "
+                  << rec.channel.value << " " << GpidStr(record.pid);
+      continue;
+    }
+    entry->fd = rec.fd;
+    if (rec.fd != kBadFd) {
+      b.fds[rec.fd] = rec.channel;
+    }
+    if (entry->binding_tag == kBindSignalChannel) {
+      b.signal_channel = rec.channel;
+    }
+    // §5.2: reads done by the primary let the backup discard that many
+    // saved messages; §7.8 step 4 zeroes the write count.
+    AURAGEN_CHECK(entry->queue.size() >= rec.reads_since_sync)
+        << "backup queue shorter than primary reads: ch" << rec.channel.value << "have"
+        << entry->queue.size() << "need" << rec.reads_since_sync;
+    for (uint32_t i = 0; i < rec.reads_since_sync; ++i) {
+      entry->queue.pop_front();
+      env_.metrics().backup_msgs_trimmed++;
+    }
+    entry->writes_since_sync = 0;
+  }
+}
+
+// --------------------------------------------------------------- paging
+
+void Kernel::HandlePageFault(Pcb& pcb, PageNum page) {
+  if (!pcb.body->NeedsServerPaging()) {
+    // Normal-execution fault: fresh zero-fill stack/heap growth (§7.6's
+    // demand paging; eviction pressure is not modeled, so nothing else can
+    // be non-resident before recovery).
+    pcb.body->InstallPage(page, /*known=*/false, {});
+    env_.metrics().page_fault_zero_fills++;
+    MakeReady(pcb);
+    return;
+  }
+  RoutingEntry* page_entry = KernelPageEntry();
+  AURAGEN_CHECK(page_entry != nullptr) << "recovery paging with no page server";
+  PageRequestBody req;
+  req.pid = pcb.pid;
+  req.page = page;
+  req.reply_to = id_;
+  req.cookie = next_cookie_++;
+  pcb.state = ProcState::kBlockedPage;
+  pcb.blocked_page = page;
+  pcb.page_cookie = req.cookie;
+  page_waiters_[req.cookie] = pcb.pid;
+  SendKernelChannel(*page_entry, MsgKind::kPageRequest, req.Encode());
+}
+
+void Kernel::HandlePageReply(const PageReplyBody& reply) {
+  auto it = page_waiters_.find(reply.cookie);
+  if (it == page_waiters_.end()) {
+    return;  // stale duplicate (server takeover re-service); idempotent drop
+  }
+  Gpid pid = it->second;
+  page_waiters_.erase(it);
+  Pcb* pcb = FindProcess(pid);
+  if (pcb == nullptr || pcb->state != ProcState::kBlockedPage ||
+      pcb->page_cookie != reply.cookie) {
+    return;
+  }
+  pcb->body->InstallPage(reply.page, reply.known, reply.content);
+  env_.metrics().page_faults_served++;
+  if (!reply.known) {
+    env_.metrics().page_fault_zero_fills++;
+  }
+  MakeReady(*pcb);
+}
+
+void Kernel::ReissuePageRequests() {
+  // After crash handling the page server may have moved; re-ask for every
+  // outstanding fault (§7.10.2: "page servers must be available to supply
+  // pages demanded by user processes' backups").
+  std::vector<Gpid> blocked;
+  for (auto& [pid, pcb] : procs_) {
+    if (pcb->state == ProcState::kBlockedPage) {
+      blocked.push_back(pid);
+    }
+  }
+  for (Gpid pid : blocked) {
+    Pcb& pcb = *procs_[pid];
+    page_waiters_.erase(pcb.page_cookie);
+    RoutingEntry* page_entry = KernelPageEntry();
+    if (page_entry == nullptr) {
+      continue;
+    }
+    PageRequestBody req;
+    req.pid = pcb.pid;
+    req.page = pcb.blocked_page;
+    req.reply_to = id_;
+    req.cookie = next_cookie_++;
+    pcb.page_cookie = req.cookie;
+    page_waiters_[req.cookie] = pid;
+    SendKernelChannel(*page_entry, MsgKind::kPageRequest, req.Encode());
+  }
+}
+
+// --------------------------------------------- §2 checkpointing baseline
+
+void Kernel::ForceCheckpoint(Pcb& pcb) {
+  const bool full = env_.config().strategy == FtStrategy::kCheckpointFull;
+  Metrics& m = env_.metrics();
+
+  ByteWriter w;
+  w.U64(pcb.pid.value);
+  w.U8(full ? 1 : 0);
+  KernelContext kctx;
+  kctx.body_context = pcb.body->CaptureContext();
+  kctx.next_fd = pcb.next_fd;
+  kctx.next_group = pcb.next_group;
+  for (const auto& [gid, fds] : pcb.groups) {
+    kctx.groups.emplace_back(gid, fds);
+  }
+  kctx.fork_seq = pcb.fork_seq;
+  kctx.in_signal = pcb.in_signal;
+  w.Blob(kctx.Encode());
+
+  // Channel records (fd bindings + queue-trim counts), as in sync.
+  std::vector<SyncChannelRecord> records;
+  for (RoutingEntry* e : routing_.EntriesOf(pcb.pid, /*backup=*/false)) {
+    SyncChannelRecord rec;
+    rec.channel = e->channel;
+    rec.fd = e->fd;
+    rec.opened_since_sync = e->opened_since_sync;
+    rec.closed_since_sync = e->closed_local;
+    rec.reads_since_sync = e->reads_since_sync;
+    records.push_back(rec);
+    e->opened_since_sync = false;
+    e->reads_since_sync = 0;
+    e->written_since_sync = false;
+  }
+  w.U32(static_cast<uint32_t>(records.size()));
+  for (const SyncChannelRecord& rec : records) {
+    w.U64(rec.channel.value);
+    w.I32(rec.fd);
+    w.U8(rec.closed_since_sync ? 1 : 0);
+    w.U32(rec.reads_since_sync);
+  }
+
+  // Full: every resident page; incremental: pages dirtied since last
+  // checkpoint. Either way the copy is made synchronously — the primary is
+  // stalled for the entire serialization, which is exactly the §2 cost the
+  // message system avoids.
+  std::vector<PageNum> pages;
+  if (full) {
+    for (PageNum p = 0; p < kAvmNumPages; ++p) {
+      auto* avm = dynamic_cast<AvmBody*>(pcb.body.get());
+      if (avm != nullptr && avm->memory().Resident(p)) {
+        pages.push_back(p);
+      }
+    }
+    if (pages.empty()) {
+      pages = pcb.body->DirtyPages();
+    }
+  } else {
+    pages = pcb.body->DirtyPages();
+  }
+  w.U32(static_cast<uint32_t>(pages.size()));
+  for (PageNum p : pages) {
+    w.U32(p);
+    w.Blob(pcb.body->PageContent(p));
+  }
+  pcb.body->ClearDirty();
+
+  Msg msg;
+  msg.header.kind = MsgKind::kCheckpoint;
+  msg.header.src_pid = pcb.pid;
+  msg.header.dst_primary_cluster = pcb.backup_cluster;
+  msg.body = w.Take();
+
+  SimTime stall = env_.config().sync_build_us +
+                  env_.config().sync_page_enqueue_us * pages.size() +
+                  static_cast<SimTime>(static_cast<double>(msg.body.size()) *
+                                       env_.config().bus.us_per_byte);
+  m.checkpoints++;
+  m.checkpoint_bytes += msg.body.size();
+  m.checkpoint_stall_us += stall;
+  m.work_busy_us += stall;
+  pcb.exec_us_total += stall;
+  pcb.stall_until = env_.engine().Now() + stall;
+  pcb.exec_us_since_sync = 0;
+  pcb.reads_since_sync = 0;
+
+  EnqueueOutgoing(std::move(msg), MaskOf(pcb.backup_cluster));
+}
+
+void Kernel::ApplyCheckpointAtBackup(const Msg& msg) {
+  ByteReader r(msg.body);
+  Gpid pid;
+  pid.value = r.U64();
+  bool full = r.U8() != 0;
+  Bytes context = r.Blob();
+  auto [it, created] = backups_.try_emplace(pid);
+  BackupPcb& b = it->second;
+  if (created) {
+    b.pid = pid;
+    env_.metrics().backups_created++;
+  }
+  b.primary_cluster = msg.header.src_pid.origin_cluster();
+  b.has_sync = true;
+  b.context = std::move(context);
+
+  uint32_t nrec = r.U32();
+  for (uint32_t i = 0; i < nrec; ++i) {
+    ChannelId chan{r.U64()};
+    Fd fd = r.I32();
+    bool closed = r.U8() != 0;
+    uint32_t reads = r.U32();
+    RoutingEntry* entry = routing_.Find(chan, pid, /*backup=*/true);
+    if (closed) {
+      if (entry != nullptr) {
+        routing_.Remove(chan, pid, /*backup=*/true);
+      }
+      b.fds.erase(fd);
+      continue;
+    }
+    if (entry == nullptr) {
+      continue;
+    }
+    entry->fd = fd;
+    if (fd != kBadFd) {
+      b.fds[fd] = chan;
+    }
+    for (uint32_t k = 0; k < reads && !entry->queue.empty(); ++k) {
+      entry->queue.pop_front();
+    }
+  }
+
+  if (full) {
+    b.ckpt_pages.clear();
+  }
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    PageNum p = r.U32();
+    b.ckpt_pages[p] = r.Blob();
+  }
+}
+
+}  // namespace auragen

@@ -1,0 +1,130 @@
+#include "src/disk/disk.h"
+
+#include <memory>
+#include <utility>
+
+namespace auragen {
+
+BlockDevice::BlockDevice(Engine& engine, DiskConfig config)
+    : engine_(engine), config_(config), blocks_(config.num_blocks) {}
+
+void BlockDevice::Read(BlockNum block, ReadCallback done) {
+  AURAGEN_CHECK(block < config_.num_blocks) << "read past end of disk:" << block;
+  Request req;
+  req.is_write = false;
+  req.block = block;
+  req.read_done = std::move(done);
+  queue_.push_back(std::move(req));
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void BlockDevice::Write(BlockNum block, Bytes data, Callback done) {
+  AURAGEN_CHECK(block < config_.num_blocks) << "write past end of disk:" << block;
+  AURAGEN_CHECK(data.size() <= kBlockSize) << "block overflow:" << data.size();
+  Request req;
+  req.is_write = true;
+  req.block = block;
+  req.data = std::move(data);
+  req.write_done = std::move(done);
+  queue_.push_back(std::move(req));
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void BlockDevice::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+
+  size_t bytes = req.is_write ? req.data.size() : kBlockSize;
+  SimTime cost = ServiceTime(bytes);
+  stats_.busy_us += cost;
+
+  engine_.Schedule(cost, [this, req = std::move(req)]() mutable {
+    if (failed_) {
+      if (req.is_write) {
+        req.write_done(Errc::kIo);
+      } else {
+        req.read_done(Errc::kIo);
+      }
+    } else if (req.is_write) {
+      ++stats_.writes;
+      stats_.bytes_written += req.data.size();
+      blocks_[req.block] = std::move(req.data);
+      req.write_done(OkResult());
+    } else {
+      ++stats_.reads;
+      stats_.bytes_read += kBlockSize;
+      req.read_done(Result<Bytes>(blocks_[req.block]));
+    }
+    StartNext();
+  });
+}
+
+Bytes BlockDevice::PeekBlock(BlockNum block) const {
+  AURAGEN_CHECK(block < config_.num_blocks);
+  return blocks_[block];
+}
+
+void BlockDevice::PokeBlock(BlockNum block, const Bytes& data) {
+  AURAGEN_CHECK(block < config_.num_blocks);
+  AURAGEN_CHECK(data.size() <= kBlockSize);
+  blocks_[block] = data;
+}
+
+MirroredDisk::MirroredDisk(Engine& engine, DiskConfig config, ClusterId port_a, ClusterId port_b)
+    : drive0_(engine, config), drive1_(engine, config), port_a_(port_a), port_b_(port_b) {
+  AURAGEN_CHECK(port_a != port_b) << "dual ports must reach distinct clusters";
+}
+
+void MirroredDisk::Read(BlockNum block, BlockDevice::ReadCallback done) {
+  if (!drive0_.failed()) {
+    drive0_.Read(block, std::move(done));
+  } else if (!drive1_.failed()) {
+    drive1_.Read(block, std::move(done));
+  } else {
+    done(Errc::kIo);
+  }
+}
+
+void MirroredDisk::Write(BlockNum block, Bytes data, BlockDevice::Callback done) {
+  // Duplex the write; report success when both healthy drives are done. A
+  // failed drive is skipped — the mirror is then running unprotected, which
+  // is fine under the single-failure model.
+  struct Join {
+    int pending = 0;
+    Errc worst = Errc::kOk;
+    BlockDevice::Callback done;
+  };
+  auto join = std::make_shared<Join>();
+  join->done = std::move(done);
+
+  auto arm = [&](BlockDevice& d) {
+    if (d.failed()) {
+      return;
+    }
+    ++join->pending;
+    d.Write(block, data, [join](Result<void> r) {
+      if (!r.ok()) {
+        join->worst = r.error();
+      }
+      if (--join->pending == 0) {
+        join->done(join->worst == Errc::kOk ? Result<void>() : Result<void>(join->worst));
+      }
+    });
+  };
+  arm(drive0_);
+  arm(drive1_);
+  if (join->pending == 0) {
+    join->done(Errc::kIo);  // both drives dead
+  }
+}
+
+}  // namespace auragen

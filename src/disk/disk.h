@@ -1,0 +1,125 @@
+// Simulated disks: block devices, dual-ported attachment, mirrored pairs.
+//
+// §7.1: "All peripherals are dual-ported and connected to two clusters. In
+// addition, disks are connected in pairs to facilitate mirrored files."
+// Peripheral servers (file/raw/page) run in one of a disk's two clusters,
+// their backup in the other (§7.3 halfback placement); after a cluster crash
+// the surviving cluster keeps a path to the same blocks. The page server's
+// page accounts and the file server's shadow-block filesystem both sit on
+// these devices.
+//
+// Service-time model: fixed seek + per-byte transfer. Requests on one device
+// are serialized (single actuator); mirrored writes go to both devices in
+// parallel and complete when the slower finishes.
+
+#ifndef AURAGEN_SRC_DISK_DISK_H_
+#define AURAGEN_SRC_DISK_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/base/codec.h"
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/sim/engine.h"
+
+namespace auragen {
+
+inline constexpr uint32_t kBlockSize = 512;
+
+struct DiskConfig {
+  uint32_t num_blocks = 16384;       // 8 MiB default
+  SimTime seek_us = 200;             // per request
+  double us_per_byte = 0.5;          // ~2 MB/s, era-appropriate
+};
+
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  SimTime busy_us = 0;
+};
+
+// One physical drive. Requests complete asynchronously on the engine in
+// submission order.
+class BlockDevice {
+ public:
+  using Callback = std::function<void(Result<void>)>;
+  using ReadCallback = std::function<void(Result<Bytes>)>;
+
+  BlockDevice(Engine& engine, DiskConfig config);
+
+  void Read(BlockNum block, ReadCallback done);
+  void Write(BlockNum block, Bytes data, Callback done);
+
+  // Synchronous accessors for test setup/inspection only; they bypass the
+  // timing model and must not be used by simulated servers.
+  Bytes PeekBlock(BlockNum block) const;
+  void PokeBlock(BlockNum block, const Bytes& data);
+
+  void Fail() { failed_ = true; }
+  void Restore() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  uint32_t num_blocks() const { return config_.num_blocks; }
+  const DiskStats& stats() const { return stats_; }
+
+ private:
+  struct Request {
+    bool is_write;
+    BlockNum block;
+    Bytes data;
+    Callback write_done;
+    ReadCallback read_done;
+  };
+
+  void StartNext();
+  SimTime ServiceTime(size_t bytes) const {
+    return config_.seek_us + static_cast<SimTime>(static_cast<double>(bytes) * config_.us_per_byte);
+  }
+
+  Engine& engine_;
+  DiskConfig config_;
+  std::vector<Bytes> blocks_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  bool failed_ = false;
+  DiskStats stats_;
+};
+
+// A mirrored pair of drives presented as one logical device (§7.1). Writes
+// are duplexed; reads are served by the first healthy drive. The pair stays
+// available through any single drive failure.
+class MirroredDisk {
+ public:
+  MirroredDisk(Engine& engine, DiskConfig config, ClusterId port_a, ClusterId port_b);
+
+  void Read(BlockNum block, BlockDevice::ReadCallback done);
+  void Write(BlockNum block, Bytes data, BlockDevice::Callback done);
+
+  // Dual-ported attachment: which clusters have a hardware path.
+  bool AttachedTo(ClusterId cluster) const { return cluster == port_a_ || cluster == port_b_; }
+  ClusterId port_a() const { return port_a_; }
+  ClusterId port_b() const { return port_b_; }
+  ClusterId OtherPort(ClusterId cluster) const { return cluster == port_a_ ? port_b_ : port_a_; }
+
+  BlockDevice& drive(int i) { return i == 0 ? drive0_ : drive1_; }
+  uint32_t num_blocks() const { return drive0_.num_blocks(); }
+
+  uint64_t bytes_written() const {
+    return drive0_.stats().bytes_written + drive1_.stats().bytes_written;
+  }
+
+ private:
+  BlockDevice drive0_;
+  BlockDevice drive1_;
+  ClusterId port_a_;
+  ClusterId port_b_;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_DISK_DISK_H_

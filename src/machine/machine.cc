@@ -1,0 +1,332 @@
+#include "src/machine/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/servers/protocol.h"
+
+namespace auragen {
+
+constexpr Gpid Machine::kFsPid;
+constexpr Gpid Machine::kPsPid;
+constexpr Gpid Machine::kTtyPid;
+constexpr Gpid Machine::kPagePid;
+
+Machine::Machine(MachineOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  const SystemConfig& cfg = options_.config;
+  bus_ = std::make_unique<InterclusterBus>(engine_, cfg.bus, cfg.num_clusters);
+  fs_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.fs_cluster,
+                                            options_.fs_backup);
+  page_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.page_cluster,
+                                              options_.page_backup);
+  for (ClusterId c = 0; c < cfg.num_clusters; ++c) {
+    kernels_.push_back(std::make_unique<Kernel>(*this, c));
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::Boot() {
+  AURAGEN_CHECK(!booted_) << "Boot() called twice";
+  booted_ = true;
+  for (auto& kernel : kernels_) {
+    kernel->Start();
+  }
+  SpawnServers();
+  // Let server spawn traffic (channel fabrication, filesystem format)
+  // settle before user work arrives.
+  Run(20000);
+}
+
+void Machine::SpawnServers() {
+  const bool ft = options_.config.strategy == FtStrategy::kMessageSystem;
+
+  fs_addr_ = ServerAddr{kFsPid, options_.fs_cluster, ft ? options_.fs_backup : kNoCluster};
+  ps_addr_ = ServerAddr{kPsPid, options_.ps_cluster, ft ? options_.ps_backup : kNoCluster};
+  tty_addr_ =
+      ServerAddr{kTtyPid, options_.tty_cluster, ft ? options_.tty_backup : kNoCluster};
+  page_addr_ =
+      ServerAddr{kPagePid, options_.page_cluster, ft ? options_.page_backup : kNoCluster};
+
+  server_disks_[kFsPid.value] = fs_disk_.get();
+  server_disks_[kPagePid.value] = page_disk_.get();
+  server_locations_[kFsPid.value] = options_.fs_cluster;
+  server_locations_[kPsPid.value] = options_.ps_cluster;
+  server_locations_[kTtyPid.value] = options_.tty_cluster;
+  server_locations_[kPagePid.value] = options_.page_cluster;
+
+  auto spawn_peripheral = [&](Gpid pid, ClusterId primary, ClusterId backup,
+                              auto make_program) {
+    SpawnSpec spec;
+    spec.native = make_program();
+    spec.peripheral = true;
+    spec.mode = BackupMode::kHalfback;  // §7.3: peripheral servers
+    spec.fixed_pid = pid;
+    spec.backup_cluster = ft ? backup : kNoCluster;
+    if (pid == kTtyPid) {
+      // The tty server routes ^C through the process server (§7.5.2).
+      spec.proc_server = ps_addr_;
+    }
+    kernels_[primary]->Spawn(std::move(spec));
+    if (ft && backup != kNoCluster) {
+      SpawnSpec bspec;
+      bspec.native = make_program();
+      bspec.peripheral = true;
+      bspec.mode = BackupMode::kHalfback;
+      bspec.fixed_pid = pid;
+      bspec.server_backup = true;
+      bspec.primary_cluster = primary;
+      kernels_[backup]->Spawn(std::move(bspec));
+    }
+  };
+
+  spawn_peripheral(kPagePid, options_.page_cluster, options_.page_backup, [&] {
+    return std::make_unique<PageServerProgram>(options_.page_server);
+  });
+  spawn_peripheral(kFsPid, options_.fs_cluster, options_.fs_backup, [&] {
+    return std::make_unique<FileServerProgram>(options_.file_server);
+  });
+  spawn_peripheral(kTtyPid, options_.tty_cluster, options_.tty_backup,
+                   [&] { return std::make_unique<TtyServerProgram>(options_.tty_server); });
+
+  // The process server is a *system* server (§7.6): standard page-diff sync
+  // through the message system, passive backup PCB.
+  {
+    SpawnSpec spec;
+    spec.native = std::make_unique<ProcessServerProgram>();
+    spec.native_paged_ft = true;
+    spec.mode = BackupMode::kQuarterback;
+    spec.fixed_pid = kPsPid;
+    spec.backup_cluster = ft ? options_.ps_backup : kNoCluster;
+    // Aggressive sync keeps the PS backup near-current (it is tiny).
+    spec.sync_reads_limit = 8;
+    kernels_[options_.ps_cluster]->Spawn(std::move(spec));
+  }
+
+  // Kernel page channels (§7.6): every kernel talks to the page server.
+  for (auto& kernel : kernels_) {
+    kernel->CreateKernelChannel(page_addr_, kBindPageChannel);
+  }
+}
+
+Gpid Machine::SpawnUserProgram(ClusterId cluster, const Executable& exe,
+                               const UserSpawnOptions& opts) {
+  AURAGEN_CHECK(booted_) << "SpawnUserProgram before Boot";
+  SpawnSpec spec;
+  spec.exe = exe;
+  spec.mode = opts.mode;
+  if (options_.config.strategy == FtStrategy::kNone) {
+    spec.backup_cluster = kNoCluster;
+  } else if (opts.backup_cluster != kNoCluster) {
+    spec.backup_cluster = opts.backup_cluster;
+  } else {
+    // Default placement: the next *alive* cluster (none alive -> no backup).
+    spec.backup_cluster = kNoCluster;
+    for (uint32_t step = 1; step < options_.config.num_clusters; ++step) {
+      ClusterId candidate = (cluster + step) % options_.config.num_clusters;
+      if (kernels_[candidate]->alive()) {
+        spec.backup_cluster = candidate;
+        break;
+      }
+    }
+  }
+  spec.sync_reads_limit = opts.sync_reads_limit;
+  spec.sync_time_limit_us = opts.sync_time_limit_us;
+  spec.file_server = fs_addr_;
+  spec.proc_server = ps_addr_;
+  if (opts.with_tty) {
+    spec.tty_server = tty_addr_;
+    spec.tty_line = opts.tty_line;
+  }
+  Gpid pid = kernels_[cluster]->Spawn(std::move(spec));
+  user_pids_.push_back(pid);
+  return pid;
+}
+
+bool Machine::RunUntil(const std::function<bool()>& pred, SimTime max_duration) {
+  SimTime deadline = engine_.Now() + max_duration;
+  while (!pred()) {
+    if (!engine_.Step(deadline)) {
+      return pred();
+    }
+  }
+  return true;
+}
+
+bool Machine::RunUntilAllExited(SimTime max_duration) {
+  return RunUntil(
+      [this] {
+        for (Gpid pid : user_pids_) {
+          if (exit_statuses_.count(pid.value) == 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      max_duration);
+}
+
+void Machine::CrashCluster(ClusterId cluster) {
+  AURAGEN_CHECK(cluster < kernels_.size());
+  kernels_[cluster]->CrashNow();
+}
+
+void Machine::CrashClusterAt(SimTime when, ClusterId cluster) {
+  engine_.ScheduleAt(when, [this, cluster] { CrashCluster(cluster); });
+}
+
+void Machine::RestoreCluster(ClusterId cluster) {
+  kernels_[cluster]->Restart();
+  kernels_[cluster]->CreateKernelChannel(page_addr_, kBindPageChannel);
+  // §7.3: halfbacks get new backups when the crashed cluster returns.
+  // Every unprotected peripheral server whose disk (if any) reaches the
+  // restored cluster re-creates its active backup there.
+  engine_.Schedule(1000, [this, cluster] {
+    for (Gpid pid : {kFsPid, kPagePid, kTtyPid}) {
+      auto loc = server_locations_.find(pid.value);
+      if (loc == server_locations_.end() || !kernels_[loc->second]->alive()) {
+        continue;
+      }
+      Pcb* pcb = kernels_[loc->second]->FindProcess(pid);
+      if (pcb == nullptr || pcb->server_backup || pcb->backup_cluster != kNoCluster) {
+        continue;
+      }
+      auto disk = server_disks_.find(pid.value);
+      if (disk != server_disks_.end() && !disk->second->AttachedTo(cluster)) {
+        continue;  // §7.9: the backup must sit on the other disk port
+      }
+      kernels_[loc->second]->RecreateServerBackup(pid, cluster);
+      auto patch = [&](ServerAddr& addr) {
+        if (addr.pid == pid) {
+          addr.backup = cluster;
+        }
+      };
+      patch(fs_addr_);
+      patch(ps_addr_);
+      patch(tty_addr_);
+      patch(page_addr_);
+    }
+  });
+}
+
+void Machine::InjectTtyInput(uint32_t line, const std::string& text, SimTime at) {
+  engine_.ScheduleAt(at, [this, line, text] {
+    auto it = server_locations_.find(kTtyPid.value);
+    if (it == server_locations_.end() || !kernels_[it->second]->alive()) {
+      return;  // terminal line dead with its cluster; user must retype
+    }
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(ReqTag::kDevInput));
+    w.U32(line);
+    w.Blob(Bytes(text.begin(), text.end()));
+    kernels_[it->second]->InjectLocalMessage(kTtyPid, kBindSelfChannel, w.Take());
+  });
+}
+
+std::string Machine::TtyOutput(uint32_t line) const {
+  auto it = tty_dedup_.find(line);
+  if (it == tty_dedup_.end()) {
+    return {};
+  }
+  std::string out;
+  for (const auto& [seq, text] : it->second) {
+    out += text;
+  }
+  return out;
+}
+
+size_t Machine::TotalLiveProcesses() const {
+  size_t n = 0;
+  for (const auto& kernel : kernels_) {
+    if (kernel->alive()) {
+      n += kernel->num_live_processes();
+    }
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- MachineEnv
+
+void Machine::DiskRead(Gpid server, BlockNum block,
+                       std::function<void(Result<Bytes>)> done) {
+  auto it = server_disks_.find(server.value);
+  AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+  it->second->Read(block, std::move(done));
+}
+
+void Machine::DiskWrite(Gpid server, BlockNum block, Bytes data,
+                        std::function<void(Result<void>)> done) {
+  auto it = server_disks_.find(server.value);
+  AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+  if (server == kFsPid) {
+    metrics_.fileserver_disk_bytes += data.size();
+  }
+  it->second->Write(block, std::move(data), std::move(done));
+}
+
+void Machine::TtyEmit(Gpid server, const Bytes& data) {
+  (void)server;
+  ByteReader r(data);
+  TtyRecord rec;
+  rec.line = r.U32();
+  rec.seq = r.U64();
+  Bytes text = r.Blob();
+  rec.text.assign(text.begin(), text.end());
+  rec.at = engine_.Now();
+  auto& per_line = tty_dedup_[rec.line];
+  if (per_line.count(rec.seq) != 0) {
+    ++tty_duplicates_;  // recovery re-emission (§7.9 window); content equal
+  } else {
+    per_line[rec.seq] = rec.text;
+  }
+  tty_raw_.push_back(std::move(rec));
+}
+
+ClusterId Machine::PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) {
+  for (ClusterId c = 0; c < kernels_.size(); ++c) {
+    if (c != avoid_a && c != avoid_b && kernels_[c]->alive()) {
+      return c;
+    }
+  }
+  return kNoCluster;
+}
+
+std::unique_ptr<NativeProgram> Machine::MakeServerProgram(Gpid pid) {
+  if (pid == kPsPid) {
+    return std::make_unique<ProcessServerProgram>();
+  }
+  if (pid == kPagePid) {
+    return std::make_unique<PageServerProgram>(options_.page_server);
+  }
+  if (pid == kFsPid) {
+    return std::make_unique<FileServerProgram>(options_.file_server);
+  }
+  if (pid == kTtyPid) {
+    return std::make_unique<TtyServerProgram>(options_.tty_server);
+  }
+  AURAGEN_PANIC("unknown server pid");
+}
+
+void Machine::OnServerTakeover(Gpid pid, ClusterId new_cluster) {
+  server_locations_[pid.value] = new_cluster;
+  auto patch = [&](ServerAddr& addr) {
+    if (addr.pid == pid) {
+      addr.primary = new_cluster;
+      addr.backup = kNoCluster;  // halfback: re-backed when the old cluster returns
+    }
+  };
+  patch(fs_addr_);
+  patch(ps_addr_);
+  patch(tty_addr_);
+  patch(page_addr_);
+}
+
+void Machine::OnProcessExit(Gpid pid, int32_t status) {
+  exit_statuses_[pid.value] = status;
+}
+
+void Machine::OnDebugPutc(Gpid pid, char c) { debug_output_[pid.value].push_back(c); }
+
+}  // namespace auragen

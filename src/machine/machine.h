@@ -1,0 +1,180 @@
+// Machine: the whole simulated Auragen 4000 — clusters with kernels, the
+// dual intercluster bus, dual-ported mirrored disks, and the operating-
+// system server processes (§7.1, §7.6). This is the public entry point of
+// the library: construct one, Boot() it, spawn guest programs, drive the
+// simulation, crash clusters, and observe transcripts and metrics.
+
+#ifndef AURAGEN_SRC_MACHINE_MACHINE_H_
+#define AURAGEN_SRC_MACHINE_MACHINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/env.h"
+#include "src/core/kernel.h"
+#include "src/disk/disk.h"
+#include "src/paging/page_server.h"
+#include "src/servers/file_server.h"
+#include "src/servers/process_server.h"
+#include "src/servers/tty_server.h"
+
+namespace auragen {
+
+struct MachineOptions {
+  SystemConfig config;
+  uint64_t seed = 1;
+  DiskConfig disk;
+
+  // Server placement. Peripheral servers must sit on a port of their disk
+  // (§7.9); defaults put everything on clusters 0/1.
+  ClusterId fs_cluster = 0;
+  ClusterId fs_backup = 1;
+  ClusterId page_cluster = 1;
+  ClusterId page_backup = 0;
+  ClusterId ps_cluster = 0;
+  ClusterId ps_backup = 1;
+  ClusterId tty_cluster = 0;
+  ClusterId tty_backup = 1;
+
+  PageServerOptions page_server;
+  FileServerOptions file_server;
+  TtyServerOptions tty_server;
+};
+
+// One emitted terminal record (kTtyEmit payload plus arrival time).
+struct TtyRecord {
+  uint32_t line = 0;
+  uint64_t seq = 0;
+  std::string text;
+  SimTime at = 0;
+};
+
+class Machine : public MachineEnv {
+ public:
+  explicit Machine(MachineOptions options);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Creates the servers and their backups, wires kernel page channels, and
+  // lets the machine settle (spawn traffic drains). Call once.
+  void Boot();
+
+  struct UserSpawnOptions {
+    BackupMode mode = BackupMode::kQuarterback;
+    ClusterId backup_cluster = kNoCluster;  // kNoCluster: pick the next cluster
+    bool with_tty = false;
+    uint32_t tty_line = 0;
+    uint32_t sync_reads_limit = 0;  // 0: system default
+    SimTime sync_time_limit_us = 0;
+  };
+  Gpid SpawnUserProgram(ClusterId cluster, const Executable& exe,
+                        const UserSpawnOptions& opts);
+  Gpid SpawnUserProgram(ClusterId cluster, const Executable& exe) {
+    return SpawnUserProgram(cluster, exe, UserSpawnOptions{});
+  }
+
+  // --- driving the simulation ---
+  Engine& engine() override { return engine_; }
+  void Run(SimTime duration) { engine_.Run(engine_.Now() + duration); }
+  // Steps until `pred` holds or `max_duration` elapses; true if pred held.
+  bool RunUntil(const std::function<bool()>& pred, SimTime max_duration);
+  // Runs until every spawned user process has exited (or timeout).
+  bool RunUntilAllExited(SimTime max_duration);
+  // Drains in-flight traffic (outgoing queues, bus, servers): writes are
+  // asynchronous (§7.4.2), so output observed right at a process's exit may
+  // still be in flight.
+  void Settle(SimTime duration = 500'000) { Run(duration); }
+
+  // --- fault injection ---
+  void CrashCluster(ClusterId cluster);
+  void CrashClusterAt(SimTime when, ClusterId cluster);
+  // Returns a restored cluster to service. Peripheral servers whose backups
+  // died with it re-create them there (§7.3 halfback return-to-service).
+  void RestoreCluster(ClusterId cluster);
+  bool ClusterAlive(ClusterId cluster) const { return kernels_[cluster]->alive(); }
+  // §10 extension: an isolatable hardware fault kills one process; its
+  // backup is brought up without a cluster crash.
+  void FailProcess(ClusterId cluster, Gpid pid) { kernels_[cluster]->FailProcess(pid); }
+
+  // --- terminal I/O ---
+  void InjectTtyInput(uint32_t line, const std::string& text, SimTime at);
+  const std::vector<TtyRecord>& tty_raw() const { return tty_raw_; }
+  // Exactly-once view: records deduplicated by (line, seq), concatenated.
+  std::string TtyOutput(uint32_t line) const;
+  uint64_t TtyDuplicates() const { return tty_duplicates_; }
+
+  // --- observation ---
+  Kernel& kernel(ClusterId cluster) { return *kernels_[cluster]; }
+  Metrics& metrics() override { return metrics_; }
+  const std::map<uint64_t, int32_t>& exit_statuses() const { return exit_statuses_; }
+  bool HasExited(Gpid pid) const { return exit_statuses_.count(pid.value) != 0; }
+  int32_t ExitStatus(Gpid pid) const { return exit_statuses_.at(pid.value); }
+  const std::string& DebugOutput(Gpid pid) { return debug_output_[pid.value]; }
+  size_t TotalLiveProcesses() const;
+
+  ServerAddr file_server_addr() const { return fs_addr_; }
+  ServerAddr proc_server_addr() const { return ps_addr_; }
+  ServerAddr tty_server_addr() const { return tty_addr_; }
+  ServerAddr page_server_addr() const { return page_addr_; }
+  MirroredDisk& fs_disk() { return *fs_disk_; }
+  MirroredDisk& page_disk() { return *page_disk_; }
+  InterclusterBus& bus() override { return *bus_; }
+  const SystemConfig& config() const override { return options_.config; }
+  Rng& rng() { return rng_; }
+
+  // --- MachineEnv ---
+  void DiskRead(Gpid server, BlockNum block,
+                std::function<void(Result<Bytes>)> done) override;
+  void DiskWrite(Gpid server, BlockNum block, Bytes data,
+                 std::function<void(Result<void>)> done) override;
+  void TtyEmit(Gpid server, const Bytes& data) override;
+  ClusterId PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) override;
+  std::unique_ptr<NativeProgram> MakeServerProgram(Gpid pid) override;
+  void OnServerTakeover(Gpid pid, ClusterId new_cluster) override;
+  void OnProcessExit(Gpid pid, int32_t status) override;
+  void OnDebugPutc(Gpid pid, char c) override;
+
+  // Well-known server pids (cluster 32 is fictitious: these ids can never
+  // collide with kernel-allocated pids).
+  static constexpr Gpid kFsPid = Gpid::Make(32, 2);
+  static constexpr Gpid kPsPid = Gpid::Make(32, 3);
+  static constexpr Gpid kTtyPid = Gpid::Make(32, 4);
+  static constexpr Gpid kPagePid = Gpid::Make(32, 5);
+
+ private:
+  void SpawnServers();
+
+  MachineOptions options_;
+  Engine engine_;
+  Rng rng_;
+  Metrics metrics_;
+  std::unique_ptr<InterclusterBus> bus_;
+  std::unique_ptr<MirroredDisk> fs_disk_;
+  std::unique_ptr<MirroredDisk> page_disk_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+
+  ServerAddr fs_addr_;
+  ServerAddr ps_addr_;
+  ServerAddr tty_addr_;
+  ServerAddr page_addr_;
+
+  std::map<uint64_t, MirroredDisk*> server_disks_;  // pid.value -> disk
+  std::map<uint64_t, ClusterId> server_locations_;  // pid.value -> cluster
+
+  std::vector<TtyRecord> tty_raw_;
+  std::map<uint32_t, std::map<uint64_t, std::string>> tty_dedup_;  // line -> seq -> text
+  uint64_t tty_duplicates_ = 0;
+
+  std::map<uint64_t, int32_t> exit_statuses_;
+  std::map<uint64_t, std::string> debug_output_;
+  std::vector<Gpid> user_pids_;
+  bool booted_ = false;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,746 @@
+#include "src/servers/file_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/core/wire.h"
+#include "src/disk/disk.h"
+
+namespace auragen {
+
+namespace {
+
+constexpr uint32_t kSuperMagic = 0x41555246;  // "AURF"
+
+SyscallRequest DiskWriteReq(BlockNum block, Bytes data) {
+  SyscallRequest req = NativeRequest(NativeSys::kDiskWrite);
+  req.a = block;
+  req.data = std::move(data);
+  return req;
+}
+
+SyscallRequest DiskReadReq(BlockNum block) {
+  SyscallRequest req = NativeRequest(NativeSys::kDiskRead);
+  req.a = block;
+  return req;
+}
+
+}  // namespace
+
+FileServerProgram::FileServerProgram(FileServerOptions options) : options_(options) {}
+
+uint64_t FileServerProgram::FileSize(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return 0;
+  }
+  auto iit = inodes_.find(it->second);
+  return iit == inodes_.end() ? 0 : iit->second.size;
+}
+
+BlockNum FileServerProgram::Alloc() {
+  if (!free_list_.empty()) {
+    BlockNum b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+  AURAGEN_CHECK(next_block_ < options_.num_blocks) << "filesystem full";
+  return next_block_++;
+}
+
+SyscallRequest FileServerProgram::ReadAny() {
+  mode_ = Mode::kAwaitMessage;
+  SyscallRequest req;
+  req.num = Sys::kRead;
+  req.a = kAnyChannel;
+  return req;
+}
+
+// ------------------------------------------------------------------ replies
+
+SyscallRequest FileServerProgram::ReplyData(uint64_t channel, const Bytes& data) {
+  mode_ = Mode::kReplying;
+  SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+  req.b = channel;
+  req.data = EncodeTaggedBlob(ReqTag::kData, data);
+  return req;
+}
+
+SyscallRequest FileServerProgram::ReplyStatus(uint64_t channel, int32_t status) {
+  mode_ = Mode::kReplying;
+  SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+  req.b = channel;
+  req.data = EncodeTaggedI32(ReqTag::kStatus, status);
+  return req;
+}
+
+SyscallRequest FileServerProgram::SendOpenReply(uint64_t control_channel,
+                                                const OpenReplyBody& reply, Mode next_mode) {
+  mode_ = next_mode;
+  SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+  req.a = 1;  // MsgKind::kOpenReply
+  req.b = control_channel;
+  req.data = reply.Encode();
+  return req;
+}
+
+// --------------------------------------------------------------------- sync
+
+SyscallRequest FileServerProgram::StartSync() {
+  // §7.9 file-server sync: flush the cache to disk (fresh blocks), commit
+  // via superblock, then ship only the small runtime state by message.
+  flush_plan_.clear();
+  for (const auto& [inode_id, dirty] : tail_dirty_) {
+    if (dirty) {
+      flush_plan_.emplace_back(inode_id, Alloc());
+    }
+  }
+  plan_idx_ = 0;
+  if (!flush_plan_.empty()) {
+    mode_ = Mode::kFlushTail;
+    const auto& [inode_id, block] = flush_plan_[0];
+    Bytes content = tail_cache_[inode_id];
+    content.resize(kBlockSize, 0);
+    return DiskWriteReq(block, std::move(content));
+  }
+  return ContinueMetaWrite();
+}
+
+SyscallRequest FileServerProgram::ContinueFlushTail() {
+  // Previous tail write completed: splice the fresh block into the inode.
+  const auto& [inode_id, block] = flush_plan_[plan_idx_];
+  Inode& inode = inodes_[inode_id];
+  uint32_t tail_idx = static_cast<uint32_t>(inode.size / kBlockSize);
+  if (inode.size % kBlockSize == 0 && inode.size != 0) {
+    tail_idx = static_cast<uint32_t>(inode.size / kBlockSize) - 1;
+  }
+  if (tail_idx < inode.blocks.size()) {
+    pending_free_.push_back(inode.blocks[tail_idx]);
+    inode.blocks[tail_idx] = block;
+  } else {
+    inode.blocks.push_back(block);
+  }
+  tail_dirty_[inode_id] = false;
+
+  ++plan_idx_;
+  if (plan_idx_ < flush_plan_.size()) {
+    const auto& [next_inode, next_block] = flush_plan_[plan_idx_];
+    Bytes content = tail_cache_[next_inode];
+    content.resize(kBlockSize, 0);
+    mode_ = Mode::kFlushTail;
+    return DiskWriteReq(next_block, std::move(content));
+  }
+  return ContinueMetaWrite();
+}
+
+Bytes FileServerProgram::SerializeMeta() const {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(names_.size()));
+  for (const auto& [name, inode] : names_) {
+    w.Str(name);
+    w.U32(inode);
+  }
+  w.U32(static_cast<uint32_t>(inodes_.size()));
+  for (const auto& [id, inode] : inodes_) {
+    w.U32(id);
+    w.U64(inode.size);
+    w.U32(static_cast<uint32_t>(inode.blocks.size()));
+    for (BlockNum b : inode.blocks) {
+      w.U32(b);
+    }
+  }
+  w.U32(next_inode_);
+  w.U32(next_block_);
+  w.U32(static_cast<uint32_t>(free_list_.size()));
+  for (BlockNum b : free_list_) {
+    w.U32(b);
+  }
+  return w.Take();
+}
+
+void FileServerProgram::ParseMeta(const Bytes& blob) {
+  ByteReader r(blob);
+  names_.clear();
+  inodes_.clear();
+  uint32_t nn = r.U32();
+  for (uint32_t i = 0; i < nn; ++i) {
+    std::string name = r.Str();
+    names_[name] = r.U32();
+  }
+  uint32_t ni = r.U32();
+  for (uint32_t i = 0; i < ni; ++i) {
+    uint32_t id = r.U32();
+    Inode inode;
+    inode.size = r.U64();
+    uint32_t nb = r.U32();
+    inode.blocks.resize(nb);
+    for (BlockNum& b : inode.blocks) {
+      b = r.U32();
+    }
+    inodes_[id] = std::move(inode);
+  }
+  next_inode_ = r.U32();
+  next_block_ = r.U32();
+  free_list_.clear();
+  uint32_t nf = r.U32();
+  for (uint32_t i = 0; i < nf; ++i) {
+    free_list_.push_back(r.U32());
+  }
+}
+
+SyscallRequest FileServerProgram::ContinueMetaWrite() {
+  if (mode_ != Mode::kMetaWrite) {
+    // First entry: chunk the metadata and allocate fresh blocks (shadow —
+    // the committed copy stays intact until the superblock flips).
+    Bytes meta = SerializeMeta();
+    meta_chunks_.clear();
+    new_meta_blocks_.clear();
+    for (size_t at = 0; at < meta.size(); at += kBlockSize) {
+      size_t n = std::min<size_t>(kBlockSize, meta.size() - at);
+      Bytes chunk(meta.begin() + at, meta.begin() + at + n);
+      meta_chunks_.push_back(std::move(chunk));
+      new_meta_blocks_.push_back(Alloc());
+    }
+    plan_idx_ = 0;
+    plan_offset_ = meta.size();
+  } else {
+    ++plan_idx_;
+  }
+  if (plan_idx_ < meta_chunks_.size()) {
+    mode_ = Mode::kMetaWrite;
+    return DiskWriteReq(new_meta_blocks_[plan_idx_], meta_chunks_[plan_idx_]);
+  }
+  // All metadata persisted: commit via the alternating superblock slot.
+  ByteWriter sb;
+  sb.U32(kSuperMagic);
+  sb.U64(epoch_ + 1);
+  sb.U32(static_cast<uint32_t>(plan_offset_));
+  sb.U32(static_cast<uint32_t>(new_meta_blocks_.size()));
+  for (BlockNum b : new_meta_blocks_) {
+    sb.U32(b);
+  }
+  mode_ = Mode::kSuperWrite;
+  return DiskWriteReq(static_cast<BlockNum>((epoch_ + 1) % 2), sb.Take());
+}
+
+// --------------------------------------------------------------- requests
+
+SyscallRequest FileServerProgram::AfterService() {
+  if (ops_since_sync_ >= options_.sync_every_ops) {
+    return StartSync();
+  }
+  return ReadAny();
+}
+
+SyscallRequest FileServerProgram::HandleOpen(uint64_t control_channel,
+                                             const OpenRequest& open) {
+  if (open.name.rfind("ch:", 0) == 0) {
+    // User-to-user channel pairing (§7.4.1): "the file server pairs up
+    // openers to the same name and sends open replies back to the openers
+    // and to their backups."
+    auto it = pending_opens_.find(open.name);
+    if (it == pending_opens_.end()) {
+      PendingOpen pending;
+      pending.cookie = open.cookie;
+      pending.control_channel = control_channel;
+      pending.opener = open.opener;
+      pending.opener_cluster = open.opener_cluster;
+      pending.opener_backup = open.opener_backup;
+      pending.opener_mode = open.opener_mode;
+      pending_opens_[open.name] = pending;
+      return AfterService();  // first opener waits
+    }
+    PendingOpen first = it->second;
+    pending_opens_.erase(it);
+    uint64_t channel = AllocChannelId();
+
+    OpenReplyBody to_first;
+    to_first.request_cookie = first.cookie;
+    to_first.status = 0;
+    to_first.channel = ChannelId{channel};
+    to_first.peer_pid = open.opener;
+    to_first.peer_primary_cluster = open.opener_cluster;
+    to_first.peer_backup_cluster = open.opener_backup;
+    to_first.peer_kind = 0;  // kUserPeer
+    to_first.peer_mode = open.opener_mode;
+
+    pair_reply2_ = OpenReplyBody{};
+    pair_reply2_.request_cookie = open.cookie;
+    pair_reply2_.status = 0;
+    pair_reply2_.channel = ChannelId{channel};
+    pair_reply2_.peer_pid = first.opener;
+    pair_reply2_.peer_primary_cluster = first.opener_cluster;
+    pair_reply2_.peer_backup_cluster = first.opener_backup;
+    pair_reply2_.peer_kind = 0;
+    pair_reply2_.peer_mode = first.opener_mode;
+    pair_reply2_channel_ = control_channel;
+
+    return SendOpenReply(first.control_channel, to_first, Mode::kPairReply2);
+  }
+
+  // File open: bind a fresh channel to the (possibly new) file. The server
+  // creates its own routing entry via kAcceptChan, then replies; the
+  // opener's kernel and backup cluster materialize their entries from the
+  // reply itself.
+  uint32_t inode_id;
+  if (auto it = names_.find(open.name); it != names_.end()) {
+    inode_id = it->second;
+  } else {
+    inode_id = next_inode_++;
+    names_[open.name] = inode_id;
+    inodes_[inode_id] = Inode{};
+  }
+  uint64_t channel = AllocChannelId();
+  chans_[channel] = Chan{inode_id, 0};
+
+  ChanCreate accept;
+  accept.channel = ChannelId{channel};
+  accept.owner = my_pid_;
+  accept.backup_entry = false;
+  accept.peer_pid = open.opener;
+  accept.peer_primary_cluster = open.opener_cluster;
+  accept.peer_backup_cluster = open.opener_backup;
+  accept.peer_kind = 0;  // kUserPeer (from the server's side)
+  accept.peer_mode = open.opener_mode;
+
+  pair_reply2_ = OpenReplyBody{};
+  pair_reply2_.request_cookie = open.cookie;
+  pair_reply2_.status = 0;
+  pair_reply2_.channel = ChannelId{channel};
+  pair_reply2_.peer_pid = my_pid_;
+  pair_reply2_.peer_primary_cluster = my_cluster_;
+  pair_reply2_.peer_backup_cluster = my_backup_;
+  pair_reply2_.peer_kind = 2;  // kServerFile
+  pair_reply2_.peer_mode = static_cast<uint8_t>(BackupMode::kHalfback);
+  pair_reply2_channel_ = control_channel;
+
+  mode_ = Mode::kAccepting;
+  SyscallRequest req = NativeRequest(NativeSys::kAcceptChan);
+  req.data = accept.Encode();
+  return req;
+}
+
+SyscallRequest FileServerProgram::HandleFileRead(uint64_t channel, uint64_t max) {
+  auto it = chans_.find(channel);
+  if (it == chans_.end()) {
+    return ReplyData(channel, {});
+  }
+  Chan& chan = it->second;
+  const Inode& inode = inodes_[chan.inode];
+  if (chan.offset >= inode.size || max == 0) {
+    return ReplyData(channel, {});  // EOF
+  }
+  uint64_t want = std::min<uint64_t>(max, inode.size - chan.offset);
+
+  cur_channel_ = channel;
+  cur_inode_ = chan.inode;
+  cur_max_ = want;
+  plan_offset_ = chan.offset;
+  plan_buffer_.clear();
+  plan_blocks_.clear();
+  uint32_t first_block = static_cast<uint32_t>(chan.offset / kBlockSize);
+  uint32_t last_block = static_cast<uint32_t>((chan.offset + want - 1) / kBlockSize);
+  for (uint32_t i = first_block; i <= last_block; ++i) {
+    plan_blocks_.push_back(i);  // file-block indices; resolved per step
+  }
+  plan_idx_ = 0;
+  chan.offset += want;
+  mode_ = Mode::kReading;
+  return StepRead();
+}
+
+// Advances the read plan: cached/uncommitted blocks are consumed inline,
+// a committed block yields one kDiskRead, plan exhaustion yields the reply.
+SyscallRequest FileServerProgram::StepRead() {
+  const Inode& inode = inodes_[cur_inode_];
+  bool has_partial = inode.size % kBlockSize != 0;
+  uint32_t partial_idx = static_cast<uint32_t>(inode.size / kBlockSize);
+  bool tail_in_cache = tail_cache_.count(cur_inode_) != 0;
+
+  while (plan_idx_ < plan_blocks_.size()) {
+    uint32_t fb = plan_blocks_[plan_idx_];
+    bool from_cache = tail_in_cache && has_partial && fb == partial_idx;
+    if (!from_cache && fb < inode.blocks.size()) {
+      return DiskReadReq(inode.blocks[fb]);
+    }
+    Bytes chunk = from_cache ? tail_cache_[cur_inode_] : Bytes{};
+    chunk.resize(kBlockSize, 0);
+    plan_buffer_.insert(plan_buffer_.end(), chunk.begin(), chunk.end());
+    ++plan_idx_;
+  }
+  uint64_t skip = plan_offset_ % kBlockSize;
+  Bytes out;
+  if (skip < plan_buffer_.size()) {
+    size_t take = std::min<size_t>(cur_max_, plan_buffer_.size() - skip);
+    out.assign(plan_buffer_.begin() + skip, plan_buffer_.begin() + skip + take);
+  }
+  plan_buffer_.clear();
+  return ReplyData(cur_channel_, out);
+}
+
+SyscallRequest FileServerProgram::HandleFileWrite(uint64_t channel, Bytes data) {
+  auto it = chans_.find(channel);
+  if (it == chans_.end()) {
+    return ReplyStatus(channel, -static_cast<int32_t>(Errc::kBadDescriptor));
+  }
+  cur_channel_ = channel;
+  cur_inode_ = it->second.inode;
+  Inode& inode = inodes_[cur_inode_];
+
+  // Appends only (see DESIGN.md). If the committed tail is partial and not
+  // yet cached, load it first, then re-enter.
+  uint64_t tail_len = inode.size % kBlockSize;
+  if (tail_len != 0 && tail_cache_.count(cur_inode_) == 0) {
+    uint32_t tail_idx = static_cast<uint32_t>(inode.size / kBlockSize);
+    AURAGEN_CHECK(tail_idx < inode.blocks.size());
+    cur_data_ = std::move(data);
+    mode_ = Mode::kTailLoad;
+    return DiskReadReq(inode.blocks[tail_idx]);
+  }
+
+  Bytes tail = tail_cache_.count(cur_inode_) != 0 ? tail_cache_[cur_inode_] : Bytes{};
+  tail.resize(tail_len);
+  size_t written = data.size();
+  tail.insert(tail.end(), data.begin(), data.end());
+  inode.size += written;
+
+  // Full 512-byte blocks go to fresh disk blocks now; the remainder stays in
+  // the cache until the next sync flush.
+  plan_blocks_.clear();
+  meta_chunks_.clear();  // reuse as write-content holder
+  size_t at = 0;
+  bool replacing_committed_tail = tail_len != 0;
+  while (tail.size() - at >= kBlockSize) {
+    Bytes full(tail.begin() + at, tail.begin() + at + kBlockSize);
+    meta_chunks_.push_back(std::move(full));
+    plan_blocks_.push_back(Alloc());
+    at += kBlockSize;
+  }
+  Bytes rest(tail.begin() + at, tail.end());
+  if (!rest.empty()) {
+    tail_cache_[cur_inode_] = rest;
+    tail_dirty_[cur_inode_] = true;
+  } else {
+    tail_cache_.erase(cur_inode_);
+    tail_dirty_.erase(cur_inode_);
+  }
+
+  if (plan_blocks_.empty()) {
+    serviced_since_sync_[channel]++;
+    ops_since_sync_++;
+    return ReplyStatus(channel, static_cast<int32_t>(written));
+  }
+  // Splice the full blocks into the inode map immediately (in-memory only —
+  // committed metadata still points at the old state until the next sync).
+  uint32_t tail_idx = static_cast<uint32_t>(inode.blocks.size());
+  if (replacing_committed_tail) {
+    tail_idx = static_cast<uint32_t>((inode.size - written - tail_len) / kBlockSize);
+  }
+  for (size_t i = 0; i < plan_blocks_.size(); ++i) {
+    uint32_t slot = tail_idx + static_cast<uint32_t>(i);
+    if (slot < inode.blocks.size()) {
+      pending_free_.push_back(inode.blocks[slot]);
+      inode.blocks[slot] = plan_blocks_[i];
+    } else {
+      inode.blocks.push_back(plan_blocks_[i]);
+    }
+  }
+  cur_max_ = written;  // remember the status value
+  plan_idx_ = 0;
+  mode_ = Mode::kWriting;
+  return DiskWriteReq(plan_blocks_[0], meta_chunks_[0]);
+}
+
+// ----------------------------------------------------------------- the FSM
+
+SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
+  if (first) {
+    mode_ = Mode::kStart;
+  }
+  switch (mode_) {
+    case Mode::kStart:
+      mode_ = Mode::kWho;
+      return NativeRequest(NativeSys::kWhoAmI);
+
+    case Mode::kWho: {
+      ByteReader r(prev.data);
+      my_pid_.value = r.U64();
+      my_cluster_ = r.U32();
+      my_backup_ = r.U32();
+      mode_ = Mode::kBootSb0;
+      return DiskReadReq(0);
+    }
+
+    case Mode::kBootSb0:
+      boot_sb0_ = prev.rv >= 0 ? prev.data : Bytes{};
+      mode_ = Mode::kBootSb1;
+      return DiskReadReq(1);
+
+    case Mode::kBootSb1: {
+      auto parse_sb = [](const Bytes& raw, uint64_t* epoch, uint32_t* meta_len,
+                         std::vector<BlockNum>* blocks) {
+        if (raw.size() < 20) {
+          return false;
+        }
+        ByteReader r(raw);
+        if (r.U32() != kSuperMagic) {
+          return false;
+        }
+        *epoch = r.U64();
+        *meta_len = r.U32();
+        uint32_t n = r.U32();
+        blocks->clear();
+        for (uint32_t i = 0; i < n; ++i) {
+          blocks->push_back(r.U32());
+        }
+        return true;
+      };
+      uint64_t e0 = 0;
+      uint64_t e1 = 0;
+      uint32_t len0 = 0;
+      uint32_t len1 = 0;
+      std::vector<BlockNum> b0;
+      std::vector<BlockNum> b1;
+      bool ok0 = parse_sb(boot_sb0_, &e0, &len0, &b0);
+      bool ok1 = prev.rv >= 0 && parse_sb(prev.data, &e1, &len1, &b1);
+      if (!ok0 && !ok1) {
+        // Virgin disk: format with an empty filesystem.
+        epoch_ = 0;
+        meta_blocks_.clear();
+        return ContinueMetaWrite();  // empty meta -> straight to superblock
+      }
+      if (ok1 && (!ok0 || e1 > e0)) {
+        epoch_ = e1;
+        meta_blocks_ = b1;
+        plan_offset_ = len1;
+      } else {
+        epoch_ = e0;
+        meta_blocks_ = b0;
+        plan_offset_ = len0;
+      }
+      if (meta_blocks_.empty()) {
+        return ReadAny();
+      }
+      plan_idx_ = 0;
+      plan_buffer_.clear();
+      mode_ = Mode::kBootMeta;
+      return DiskReadReq(meta_blocks_[0]);
+    }
+
+    case Mode::kBootMeta: {
+      Bytes chunk = prev.rv >= 0 ? prev.data : Bytes(kBlockSize, 0);
+      chunk.resize(kBlockSize, 0);
+      plan_buffer_.insert(plan_buffer_.end(), chunk.begin(), chunk.end());
+      ++plan_idx_;
+      if (plan_idx_ < meta_blocks_.size()) {
+        return DiskReadReq(meta_blocks_[plan_idx_]);
+      }
+      plan_buffer_.resize(plan_offset_);
+      ParseMeta(plan_buffer_);
+      plan_buffer_.clear();
+      return ReadAny();
+    }
+
+    case Mode::kFormatSuper:
+      return ReadAny();
+
+    case Mode::kAwaitMessage: {
+      ByteReader r(prev.data);
+      uint64_t channel = r.U64();
+      r.U64();  // src pid
+      r.U32();  // binding tag
+      MsgKind kind = static_cast<MsgKind>(r.U8());
+      Bytes body = r.Blob();
+
+      if (kind == MsgKind::kClose) {
+        chans_.erase(channel);
+        serviced_since_sync_[channel]++;
+        ops_since_sync_++;
+        return AfterService();
+      }
+      if (body.empty()) {
+        return ReadAny();
+      }
+      serviced_since_sync_[channel]++;
+      ops_since_sync_++;
+      ByteReader b(body);
+      ReqTag tag = static_cast<ReqTag>(b.U8());
+      switch (tag) {
+        case ReqTag::kOpen:
+          return HandleOpen(channel, OpenRequest::Decode(b));
+        case ReqTag::kFileRead:
+          return HandleFileRead(channel, b.U64());
+        case ReqTag::kFileWrite:
+          return HandleFileWrite(channel, b.Blob());
+        case ReqTag::kFileSeek: {
+          uint64_t offset = b.U64();
+          if (auto it = chans_.find(channel); it != chans_.end()) {
+            it->second.offset = offset;
+          }
+          return ReplyStatus(channel, 0);
+        }
+        default:
+          return AfterService();
+      }
+    }
+
+    case Mode::kAccepting:
+      return SendOpenReply(pair_reply2_channel_, pair_reply2_, Mode::kOpenReply);
+
+    case Mode::kOpenReply:
+    case Mode::kReplying:
+      return AfterService();
+
+    case Mode::kPairReply2:
+      return SendOpenReply(pair_reply2_channel_, pair_reply2_, Mode::kOpenReply);
+
+    case Mode::kTailLoad: {
+      // The committed tail arrived; cache it and re-run the append.
+      Bytes tail = prev.rv >= 0 ? prev.data : Bytes{};
+      tail.resize(inodes_[cur_inode_].size % kBlockSize);
+      tail_cache_[cur_inode_] = std::move(tail);
+      tail_dirty_[cur_inode_] = false;
+      return HandleFileWrite(cur_channel_, std::move(cur_data_));
+    }
+
+    case Mode::kReading: {
+      Bytes chunk = prev.rv >= 0 ? prev.data : Bytes{};
+      chunk.resize(kBlockSize, 0);
+      plan_buffer_.insert(plan_buffer_.end(), chunk.begin(), chunk.end());
+      ++plan_idx_;
+      return StepRead();
+    }
+
+    case Mode::kWriting: {
+      ++plan_idx_;
+      if (plan_idx_ < plan_blocks_.size()) {
+        return DiskWriteReq(plan_blocks_[plan_idx_], meta_chunks_[plan_idx_]);
+      }
+      meta_chunks_.clear();
+      return ReplyStatus(cur_channel_, static_cast<int32_t>(cur_max_));
+    }
+
+    case Mode::kFlushTail:
+      return ContinueFlushTail();
+
+    case Mode::kMetaWrite:
+      return ContinueMetaWrite();
+
+    case Mode::kSuperWrite: {
+      // Commit point passed: the new epoch is on disk. Old blocks are now
+      // reclaimable (§7.9's "old copy cannot be destroyed until the sync is
+      // complete" — it just was).
+      epoch_ += 1;
+      commits_++;
+      for (BlockNum b : meta_blocks_) {
+        free_list_.push_back(b);
+      }
+      meta_blocks_ = new_meta_blocks_;
+      new_meta_blocks_.clear();
+      for (BlockNum b : pending_free_) {
+        free_list_.push_back(b);
+      }
+      pending_free_.clear();
+
+      // Ship the small runtime state (§7.9).
+      ByteWriter w;
+      ServerSyncPrefix prefix;
+      for (const auto& [chan, count] : serviced_since_sync_) {
+        prefix.serviced.emplace_back(ChannelId{chan}, count);
+      }
+      prefix.Serialize(w);
+      ByteWriter opaque;
+      opaque.U32(static_cast<uint32_t>(chans_.size()));
+      for (const auto& [chan, state] : chans_) {
+        opaque.U64(chan);
+        opaque.U32(state.inode);
+        opaque.U64(state.offset);
+      }
+      opaque.U32(static_cast<uint32_t>(pending_opens_.size()));
+      for (const auto& [name, pending] : pending_opens_) {
+        opaque.Str(name);
+        opaque.U64(pending.cookie);
+        opaque.U64(pending.control_channel);
+        opaque.U64(pending.opener.value);
+        opaque.U32(pending.opener_cluster);
+        opaque.U32(pending.opener_backup);
+        opaque.U8(pending.opener_mode);
+      }
+      opaque.U64(next_chan_counter_);
+      w.Blob(opaque.bytes());
+      serviced_since_sync_.clear();
+      ops_since_sync_ = 0;
+      mode_ = Mode::kSendingSync;
+      SyscallRequest req = NativeRequest(NativeSys::kServerSyncSend);
+      req.data = w.Take();
+      return req;
+    }
+
+    case Mode::kSendingSync:
+      return ReadAny();
+  }
+  return ReadAny();
+}
+
+void FileServerProgram::ApplyServerSync(ByteReader& r) { LoadRuntime(r.Blob()); }
+
+void FileServerProgram::LoadRuntime(const Bytes& opaque) {
+  ByteReader o(opaque);
+  chans_.clear();
+  uint32_t nc = o.U32();
+  for (uint32_t i = 0; i < nc; ++i) {
+    uint64_t chan = o.U64();
+    Chan state;
+    state.inode = o.U32();
+    state.offset = o.U64();
+    chans_[chan] = state;
+  }
+  pending_opens_.clear();
+  uint32_t np = o.U32();
+  for (uint32_t i = 0; i < np; ++i) {
+    std::string name = o.Str();
+    PendingOpen pending;
+    pending.cookie = o.U64();
+    pending.control_channel = o.U64();
+    pending.opener.value = o.U64();
+    pending.opener_cluster = o.U32();
+    pending.opener_backup = o.U32();
+    pending.opener_mode = o.U8();
+    pending_opens_[name] = pending;
+  }
+  next_chan_counter_ = o.U64();
+}
+
+void FileServerProgram::SerializeState(ByteWriter& w) const {
+  // Used only for halfback re-backup snapshots; the durable state is on
+  // disk, so this carries the runtime tables plus boot identity of the
+  // committed filesystem.
+  w.U64(epoch_);
+  w.U32(static_cast<uint32_t>(meta_blocks_.size()));
+  for (BlockNum b : meta_blocks_) {
+    w.U32(b);
+  }
+  ByteWriter opaque;
+  opaque.U32(static_cast<uint32_t>(chans_.size()));
+  for (const auto& [chan, state] : chans_) {
+    opaque.U64(chan);
+    opaque.U32(state.inode);
+    opaque.U64(state.offset);
+  }
+  opaque.U32(0);  // pending opens omitted in snapshots
+  opaque.U64(next_chan_counter_);
+  w.Blob(opaque.bytes());
+}
+
+void FileServerProgram::RestoreState(ByteReader& r) {
+  epoch_ = r.U64();
+  meta_blocks_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    meta_blocks_.push_back(r.U32());
+  }
+  LoadRuntime(r.Blob());
+}
+
+}  // namespace auragen

@@ -1,0 +1,170 @@
+// The file server (§7.6, §7.9): a peripheral server owning a mirrored,
+// dual-ported disk that holds an Auros filesystem.
+//
+// Filesystems are "logically the same as UNIX file systems ... but
+// internally structured differently to allow the file server to sync
+// correctly" (§7.6). The internal structure here is shadow-block commit:
+//
+//   * file data is written to freshly allocated blocks, never in place;
+//   * at each server sync the metadata (names, inodes, allocator) is
+//     serialized to fresh blocks, then one superblock write (alternating
+//     between the two superblock slots, higher epoch wins) atomically
+//     commits the new state;
+//   * blocks of the previous state are only then returned to the free list —
+//     "an old copy, i.e., in the state as of last sync, cannot be destroyed
+//     until the sync is complete, in case a crash occurs during the
+//     operation" (§7.9). This is also what makes the filesystem
+//     "considerably more robust than ... UNIX".
+//
+// Because a substantial part of the server's state thus lives on the
+// dual-ported disk, its explicit ServerSync message is small: request trim
+// counts plus the runtime channel table — "we avoid sending a large amount
+// of information to the backup via the message system" (§7.9).
+//
+// The server also pairs user-to-user channels: open("ch:NAME") from two
+// processes yields one channel between them (§7.4.1).
+
+#ifndef AURAGEN_SRC_SERVERS_FILE_SERVER_H_
+#define AURAGEN_SRC_SERVERS_FILE_SERVER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/wire.h"
+#include "src/kernel/native_body.h"
+#include "src/servers/protocol.h"
+
+namespace auragen {
+
+struct FileServerOptions {
+  uint32_t sync_every_ops = 16;
+  BlockNum num_blocks = 16384;
+};
+
+class FileServerProgram : public NativeProgram {
+ public:
+  explicit FileServerProgram(FileServerOptions options);
+
+  SyscallRequest Next(const SyscallResult& prev, bool first) override;
+  void SerializeState(ByteWriter& w) const override;
+  void RestoreState(ByteReader& r) override;
+  void ApplyServerSync(ByteReader& r) override;
+  uint64_t StepWork() const override { return 40; }
+
+  // Test access.
+  bool HasFile(const std::string& name) const { return names_.count(name) != 0; }
+  uint64_t FileSize(const std::string& name) const;
+  uint64_t commits() const { return commits_; }
+
+ private:
+  enum class Mode : uint8_t {
+    kStart,
+    kWho,          // kWhoAmI pending
+    kBootSb0,      // superblock 0 read pending
+    kBootSb1,      // superblock 1 read pending
+    kBootMeta,     // metadata block chain read pending
+    kFormatSuper,  // initial superblock write pending
+    kAwaitMessage,
+    kAccepting,    // kAcceptChan pending, open reply next
+    kOpenReply,    // kWriteChan of an open reply pending
+    kPairReply2,   // second pairing reply pending
+    kTailLoad,     // reading a tail block before an append
+    kReading,      // data block chain read pending
+    kWriting,      // data block chain write pending
+    kReplying,     // kWriteChan of a data/status reply pending
+    kFlushTail,    // sync step 1: tail block writes
+    kMetaWrite,    // sync step 2: metadata block writes
+    kSuperWrite,   // sync step 3: superblock commit
+    kSendingSync,  // sync step 4: ServerSync message
+  };
+
+  struct Inode {
+    uint64_t size = 0;
+    std::vector<BlockNum> blocks;
+  };
+  struct Chan {
+    uint32_t inode = 0;
+    uint64_t offset = 0;
+  };
+  struct PendingOpen {
+    uint64_t cookie = 0;
+    uint64_t control_channel = 0;
+    Gpid opener;
+    ClusterId opener_cluster = kNoCluster;
+    ClusterId opener_backup = kNoCluster;
+    uint8_t opener_mode = 0;
+  };
+
+  // --- request handling helpers (each returns the next syscall) ---
+  SyscallRequest ReadAny();
+  SyscallRequest AfterService();
+  SyscallRequest HandleOpen(uint64_t control_channel, const OpenRequest& open);
+  SyscallRequest HandleFileRead(uint64_t channel, uint64_t max);
+  SyscallRequest HandleFileWrite(uint64_t channel, Bytes data);
+  SyscallRequest StartSync();
+  SyscallRequest ContinueFlushTail();
+  SyscallRequest ContinueMetaWrite();
+  SyscallRequest StepRead();
+  SyscallRequest ReplyData(uint64_t channel, const Bytes& data);
+  SyscallRequest ReplyStatus(uint64_t channel, int32_t status);
+  void LoadRuntime(const Bytes& opaque);
+  SyscallRequest SendOpenReply(uint64_t control_channel, const OpenReplyBody& reply,
+                               Mode next_mode);
+
+  BlockNum Alloc();
+  Bytes SerializeMeta() const;
+  void ParseMeta(const Bytes& blob);
+  uint64_t AllocChannelId() { return (0xffffull << 48) | next_chan_counter_++; }
+
+  FileServerOptions options_;
+  Mode mode_ = Mode::kStart;
+
+  // Identity (environmental; learned via kWhoAmI at every start, §7.5).
+  Gpid my_pid_;
+  ClusterId my_cluster_ = kNoCluster;
+  ClusterId my_backup_ = kNoCluster;
+
+  // Committed filesystem state (serialized to disk at each sync).
+  std::map<std::string, uint32_t> names_;
+  std::map<uint32_t, Inode> inodes_;
+  uint32_t next_inode_ = 1;
+  BlockNum next_block_ = 2;  // blocks 0/1: superblock slots
+  std::vector<BlockNum> free_list_;
+  uint64_t epoch_ = 0;
+  std::vector<BlockNum> meta_blocks_;  // current committed metadata location
+
+  // Uncommitted runtime state (travels in ServerSync).
+  std::map<uint64_t, Chan> chans_;
+  std::map<std::string, PendingOpen> pending_opens_;
+  uint64_t next_chan_counter_ = 1;
+  std::map<uint32_t, Bytes> tail_cache_;   // inode -> partial tail content
+  std::map<uint32_t, bool> tail_dirty_;
+  std::vector<BlockNum> pending_free_;
+
+  // In-flight op context.
+  uint64_t cur_channel_ = 0;
+  uint32_t cur_inode_ = 0;
+  uint64_t cur_max_ = 0;
+  Bytes cur_data_;
+  std::vector<BlockNum> plan_blocks_;
+  size_t plan_idx_ = 0;
+  Bytes plan_buffer_;
+  uint64_t plan_offset_ = 0;
+  std::vector<std::pair<uint32_t, BlockNum>> flush_plan_;  // inode -> new block
+  std::vector<Bytes> meta_chunks_;
+  std::vector<BlockNum> new_meta_blocks_;
+  Bytes boot_sb0_;
+  OpenReplyBody pair_reply2_;
+  uint64_t pair_reply2_channel_ = 0;
+  std::optional<SyscallRequest> resume_after_tail_;
+
+  std::map<uint64_t, uint32_t> serviced_since_sync_;
+  uint32_t ops_since_sync_ = 0;
+  uint64_t commits_ = 0;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_SERVERS_FILE_SERVER_H_

@@ -1,0 +1,206 @@
+#include "src/servers/process_server.h"
+
+namespace auragen {
+
+SyscallRequest ProcessServerProgram::ReadAny() {
+  mode_ = Mode::kAwaitMessage;
+  SyscallRequest req;
+  req.num = Sys::kRead;
+  req.a = kAnyChannel;
+  return req;
+}
+
+SyscallRequest ProcessServerProgram::StartSignal(Gpid target, uint32_t signum) {
+  sig_target_ = target;
+  sig_num_ = signum;
+  mode_ = Mode::kSignalLookup;
+  SyscallRequest req = NativeRequest(NativeSys::kFindChan);
+  req.a = kBindSignalChannel;
+  req.b = target.value;
+  return req;
+}
+
+SyscallRequest ProcessServerProgram::Next(const SyscallResult& prev, bool first) {
+  if (first) {
+    mode_ = Mode::kStart;
+  }
+  switch (mode_) {
+    case Mode::kStart:
+      return ReadAny();
+
+    case Mode::kRearmQuery:
+      mode_ = Mode::kRearmTime;
+      return NativeRequest(NativeSys::kSimTime);
+
+    case Mode::kRearmTime: {
+      // Post-takeover: stamp "now", then re-arm every pending alarm.
+      now_cache_ = static_cast<SimTime>(prev.rv);
+      rearm_iter_ = 0;
+      [[fallthrough]];
+    }
+    case Mode::kRearmNext: {
+      auto it = alarms_.upper_bound(rearm_iter_);
+      if (it == alarms_.end()) {
+        return ReadAny();
+      }
+      rearm_iter_ = it->first;
+      mode_ = Mode::kRearmNext;
+      SyscallRequest req = NativeRequest(NativeSys::kSetTimer);
+      req.a = it->second.deadline > now_cache_ ? it->second.deadline - now_cache_ : 1;
+      req.b = it->first;
+      return req;
+    }
+
+    case Mode::kAwaitMessage: {
+      ByteReader r(prev.data);
+      cur_channel_ = r.U64();
+      cur_src_.value = r.U64();
+      uint32_t tag = r.U32();
+      r.U8();  // msg kind
+      Bytes body = r.Blob();
+      if (body.empty()) {
+        return ReadAny();
+      }
+      ByteReader b(body);
+      ReqTag req_tag = static_cast<ReqTag>(b.U8());
+
+      if (tag == kBindSelfChannel && req_tag == ReqTag::kTimerFire) {
+        uint64_t cookie = b.U64();
+        auto it = alarms_.find(cookie);
+        if (it == alarms_.end()) {
+          return ReadAny();  // cancelled or already fired pre-takeover
+        }
+        Alarm alarm = it->second;
+        alarms_.erase(it);
+        alarms_fired_++;
+        return StartSignal(alarm.target, alarm.signum);
+      }
+
+      switch (req_tag) {
+        case ReqTag::kTime: {
+          mode_ = Mode::kTimeQuery;
+          return NativeRequest(NativeSys::kSimTime);
+        }
+        case ReqTag::kAlarm: {
+          pending_alarm_delay_ = b.U64();
+          mode_ = Mode::kAlarmNow;
+          return NativeRequest(NativeSys::kSimTime);
+        }
+        case ReqTag::kSignalReq: {
+          Gpid target;
+          target.value = b.U64();
+          uint32_t signum = b.U32();
+          return StartSignal(target, signum);
+        }
+        case ReqTag::kPsQuery: {
+          ByteWriter w;
+          w.U8(static_cast<uint8_t>(ReqTag::kData));
+          ByteWriter payload;
+          payload.U64(times_served_);
+          payload.U64(alarms_fired_);
+          payload.U64(alarms_.size());
+          w.Blob(payload.bytes());
+          mode_ = Mode::kReplying;
+          SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+          req.b = cur_channel_;
+          req.data = w.Take();
+          return req;
+        }
+        default:
+          return ReadAny();
+      }
+    }
+
+    case Mode::kTimeQuery: {
+      times_served_++;
+      ByteWriter w;
+      w.U8(static_cast<uint8_t>(ReqTag::kTime64));
+      w.U64(static_cast<uint64_t>(prev.rv));
+      mode_ = Mode::kReplying;
+      SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+      req.b = cur_channel_;
+      req.data = w.Take();
+      return req;
+    }
+
+    case Mode::kAlarmNow: {
+      SimTime now = static_cast<SimTime>(prev.rv);
+      uint64_t cookie = next_cookie_++;
+      Alarm alarm;
+      alarm.target = cur_src_;
+      alarm.deadline = now + pending_alarm_delay_;
+      alarms_[cookie] = alarm;
+      mode_ = Mode::kArming;
+      SyscallRequest req = NativeRequest(NativeSys::kSetTimer);
+      req.a = pending_alarm_delay_;
+      req.b = cookie;
+      return req;
+    }
+
+    case Mode::kArming:
+    case Mode::kReplying:
+      return ReadAny();
+
+    case Mode::kSignalLookup: {
+      uint64_t chan = static_cast<uint64_t>(prev.rv);
+      if (chan == 0) {
+        return ReadAny();  // target gone; drop the signal
+      }
+      mode_ = Mode::kSignalSend;
+      SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+      req.a = 2;  // MsgKind::kSignal
+      req.b = chan;
+      req.data = EncodeSignalReq(sig_target_, sig_num_);
+      return req;
+    }
+
+    case Mode::kSignalSend:
+      return ReadAny();
+  }
+  return ReadAny();
+}
+
+void ProcessServerProgram::SerializeState(ByteWriter& w) const {
+  w.U8(static_cast<uint8_t>(mode_));
+  w.U32(static_cast<uint32_t>(alarms_.size()));
+  for (const auto& [cookie, alarm] : alarms_) {
+    w.U64(cookie);
+    w.U64(alarm.target.value);
+    w.U64(alarm.deadline);
+    w.U32(alarm.signum);
+  }
+  w.U64(next_cookie_);
+  w.U64(cur_channel_);
+  w.U64(cur_src_.value);
+  w.U64(sig_target_.value);
+  w.U32(sig_num_);
+  w.U64(pending_alarm_delay_);
+  w.U64(times_served_);
+  w.U64(alarms_fired_);
+}
+
+void ProcessServerProgram::RestoreState(ByteReader& r) {
+  mode_ = static_cast<Mode>(r.U8());
+  alarms_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t cookie = r.U64();
+    Alarm alarm;
+    alarm.target.value = r.U64();
+    alarm.deadline = r.U64();
+    alarm.signum = r.U32();
+    alarms_[cookie] = alarm;
+  }
+  next_cookie_ = r.U64();
+  cur_channel_ = r.U64();
+  cur_src_.value = r.U64();
+  sig_target_.value = r.U64();
+  sig_num_ = r.U32();
+  pending_alarm_delay_ = r.U64();
+  times_served_ = r.U64();
+  alarms_fired_ = r.U64();
+  // Takeover entry point: re-arm timers before re-entering the read loop.
+  mode_ = Mode::kRearmQuery;
+}
+
+}  // namespace auragen

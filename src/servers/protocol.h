@@ -1,0 +1,136 @@
+// Application-level protocol between user processes (or their kernels) and
+// the operating-system server processes (§7.6).
+//
+// These bodies travel inside kUser messages on ordinary backed-up channels,
+// so every request is automatically saved for the server's backup and every
+// reply is automatically duplicate-suppressed on server rollforward — the
+// §7.9 recovery story needs no special-casing per request type.
+//
+// Requests a kernel fabricates on a process's behalf (open, gettime, alarm)
+// are encoded here too, since replay must regenerate them bit-identically.
+
+#ifndef AURAGEN_SRC_SERVERS_PROTOCOL_H_
+#define AURAGEN_SRC_SERVERS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/codec.h"
+#include "src/base/types.h"
+
+namespace auragen {
+
+enum class ReqTag : uint8_t {
+  // --- to the file server (fd 0 control channel / file channels) ---
+  kOpen = 1,       // {cookie, name, opener pid, opener cluster, opener backup,
+                   //  opener mode}
+  kFileRead = 2,   // on a file channel: {max_bytes}
+  kFileWrite = 3,  // on a file channel: {payload}; reply kStatus
+  kFileSeek = 4,   // on a file channel: {offset}
+  kChClose = 5,    // close notification a server consumes from its queue
+
+  // --- to the process server (fd 1 control channel) ---
+  kTime = 16,      // reply kTime64
+  kAlarm = 17,     // {delay_us}; no reply; SIGALRM later (§7.5.2)
+  kSignalReq = 18, // server->proc-server: {target pid, signum}
+  kPsQuery = 19,   // status query; reply kData (diagnostics)
+
+  // --- to/from the tty server (fd 2 channel) ---
+  kTtyWrite = 32,  // {payload}: emit to the terminal
+  kTtyInput = 33,  // pushed by the server: one input line
+  kTtyBind = 34,   // kernel-sent on channel creation: binds line to session
+
+  // --- generic replies ---
+  kData = 64,      // {payload}
+  kStatus = 65,    // {i32}
+  kTime64 = 66,    // {u64 microseconds}
+
+  // --- local device/self traffic (never crosses the bus) ---
+  kTimerFire = 80, // {u64 cookie} on the self channel (kSetTimer)
+  kDevInput = 81,  // {u32 line, blob text}: terminal hardware input
+};
+
+struct OpenRequest {
+  uint64_t cookie = 0;
+  std::string name;
+  Gpid opener;
+  ClusterId opener_cluster = kNoCluster;
+  ClusterId opener_backup = kNoCluster;
+  uint8_t opener_mode = 0;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(ReqTag::kOpen));
+    w.U64(cookie);
+    w.Str(name);
+    w.U64(opener.value);
+    w.U32(opener_cluster);
+    w.U32(opener_backup);
+    w.U8(opener_mode);
+    return w.Take();
+  }
+  static OpenRequest Decode(ByteReader& r) {  // tag already consumed
+    OpenRequest o;
+    o.cookie = r.U64();
+    o.name = r.Str();
+    o.opener.value = r.U64();
+    o.opener_cluster = r.U32();
+    o.opener_backup = r.U32();
+    o.opener_mode = r.U8();
+    return o;
+  }
+};
+
+inline Bytes EncodeTagged(ReqTag tag) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(tag));
+  return w.Take();
+}
+
+inline Bytes EncodeTaggedU64(ReqTag tag, uint64_t v) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(tag));
+  w.U64(v);
+  return w.Take();
+}
+
+inline Bytes EncodeTaggedI32(ReqTag tag, int32_t v) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(tag));
+  w.I32(v);
+  return w.Take();
+}
+
+inline Bytes EncodeTaggedBlob(ReqTag tag, const Bytes& payload) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(tag));
+  w.Blob(payload);
+  return w.Take();
+}
+
+// {target pid, signum} (kSignalReq / kAlarm bookkeeping at the proc server).
+inline Bytes EncodeSignalReq(Gpid target, uint32_t signum) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(ReqTag::kSignalReq));
+  w.U64(target.value);
+  w.U32(signum);
+  return w.Take();
+}
+
+// Well-known signal numbers (§7.5.2).
+inline constexpr uint32_t kSigAlrm = 14;
+inline constexpr uint32_t kSigInt = 2;
+
+// binding_tag conventions for ChanCreate (see wire.h).
+inline constexpr uint32_t kBindNone = 0;
+inline constexpr uint32_t kBindSignalChannel = 0xF1F1;
+inline constexpr uint32_t kBindPageChannel = 0xF2F2;   // kernel <-> page server
+inline constexpr uint32_t kBindReportChannel = 0xF3F3; // kernel -> proc server
+inline constexpr uint32_t kBindSelfChannel = 0xF5F5;   // timers, device input
+inline constexpr uint32_t kBindProcChannel = 0xF4F4;   // fd1: to the process server
+inline constexpr uint32_t kBindFsChannel = 0xF6F6;     // fd0: to the file server
+inline constexpr uint32_t kBindTtyLineBase = 0x1000;   // tag = base + line
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_SERVERS_PROTOCOL_H_

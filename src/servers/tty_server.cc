@@ -1,0 +1,183 @@
+#include "src/servers/tty_server.h"
+
+namespace auragen {
+
+SyscallRequest TtyServerProgram::ReadAny() {
+  mode_ = Mode::kAwaitMessage;
+  SyscallRequest req;
+  req.num = Sys::kRead;
+  req.a = kAnyChannel;
+  return req;
+}
+
+Bytes TtyServerProgram::SnapshotState() const {
+  // Small: line bindings and output sequence numbers — "only that
+  // information which is actually needed to update the internal tables of
+  // the backup" (§7.9).
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(lines_.size()));
+  for (const auto& [line, session] : lines_) {
+    w.U32(line);
+    w.U64(session.channel);
+    w.U64(session.owner.value);
+    w.U64(session.out_seq);
+  }
+  return w.Take();
+}
+
+SyscallRequest TtyServerProgram::AfterService() {
+  if (ops_since_sync_ >= options_.sync_every_ops) {
+    ByteWriter w;
+    ServerSyncPrefix prefix;
+    for (const auto& [chan, count] : serviced_since_sync_) {
+      prefix.serviced.emplace_back(ChannelId{chan}, count);
+    }
+    prefix.Serialize(w);
+    w.Blob(SnapshotState());
+    serviced_since_sync_.clear();
+    ops_since_sync_ = 0;
+    mode_ = Mode::kSendingSync;
+    SyscallRequest req = NativeRequest(NativeSys::kServerSyncSend);
+    req.data = w.Take();
+    return req;
+  }
+  return ReadAny();
+}
+
+SyscallRequest TtyServerProgram::Next(const SyscallResult& prev, bool first) {
+  if (first) {
+    mode_ = Mode::kStart;
+  }
+  switch (mode_) {
+    case Mode::kStart:
+      return ReadAny();
+
+    case Mode::kAwaitMessage: {
+      ByteReader r(prev.data);
+      uint64_t channel = r.U64();
+      Gpid src;
+      src.value = r.U64();
+      uint32_t tag = r.U32();
+      r.U8();  // kind
+      Bytes body = r.Blob();
+      if (body.empty()) {
+        return ReadAny();
+      }
+      ByteReader b(body);
+      ReqTag req_tag = static_cast<ReqTag>(b.U8());
+
+      if (tag == kBindSelfChannel && req_tag == ReqTag::kDevInput) {
+        uint32_t line = b.U32();
+        Bytes text = b.Blob();
+        auto it = lines_.find(line);
+        if (it == lines_.end()) {
+          return ReadAny();  // no session bound; input discarded
+        }
+        if (!text.empty() && text[0] == 0x03) {
+          // ^C: route a SIGINT through the process server (§7.5.2).
+          sig_target_ = it->second.owner;
+          mode_ = Mode::kSignalLookup;
+          SyscallRequest req = NativeRequest(NativeSys::kFindChan);
+          req.a = kBindProcChannel;
+          return req;
+        }
+        pending_channel_ = it->second.channel;
+        pending_input_ = std::move(text);
+        mode_ = Mode::kForwarding;
+        SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+        req.b = pending_channel_;
+        req.c = 1;  // device-driven: uncounted (rollforward cannot replay it)
+        req.data = EncodeTaggedBlob(ReqTag::kTtyInput, pending_input_);
+        return req;
+      }
+
+      if (req_tag == ReqTag::kTtyBind && tag >= kBindTtyLineBase &&
+          tag < kBindTtyLineBase + 0x1000) {
+        uint32_t line = tag - kBindTtyLineBase;
+        Session& session = lines_[line];
+        session.channel = channel;
+        session.owner = src;
+        serviced_since_sync_[channel]++;
+        ops_since_sync_++;
+        return AfterService();
+      }
+
+      if (req_tag == ReqTag::kTtyWrite && tag >= kBindTtyLineBase &&
+          tag < kBindTtyLineBase + 0x1000) {
+        uint32_t line = tag - kBindTtyLineBase;
+        Session& session = lines_[line];
+        session.channel = channel;
+        session.owner = src;
+        cur_line_ = line;
+        serviced_since_sync_[channel]++;
+        ops_since_sync_++;
+        Bytes text = b.Blob();
+        ByteWriter out;
+        out.U32(line);
+        out.U64(++session.out_seq);
+        out.Blob(text);
+        mode_ = Mode::kEmitting;
+        SyscallRequest req = NativeRequest(NativeSys::kTtyEmit);
+        req.data = out.Take();
+        return req;
+      }
+
+      // Close notifications and unknown traffic.
+      serviced_since_sync_[channel]++;
+      ops_since_sync_++;
+      return AfterService();
+    }
+
+    case Mode::kEmitting:
+      return AfterService();
+
+    case Mode::kForwarding:
+      return ReadAny();
+
+    case Mode::kSignalLookup: {
+      uint64_t chan = static_cast<uint64_t>(prev.rv);
+      if (chan == 0) {
+        return ReadAny();
+      }
+      mode_ = Mode::kSignaling;
+      SyscallRequest req = NativeRequest(NativeSys::kWriteChan);
+      req.b = chan;
+      req.c = 1;  // device-driven: uncounted
+      req.data = EncodeSignalReq(sig_target_, kSigInt);
+      return req;
+    }
+
+    case Mode::kSignaling:
+    case Mode::kSendingSync:
+      return ReadAny();
+  }
+  return ReadAny();
+}
+
+void TtyServerProgram::LoadSnapshot(const Bytes& snapshot) {
+  ByteReader s(snapshot);
+  lines_.clear();
+  uint32_t n = s.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t line = s.U32();
+    Session session;
+    session.channel = s.U64();
+    session.owner.value = s.U64();
+    session.out_seq = s.U64();
+    lines_[line] = session;
+  }
+}
+
+void TtyServerProgram::ApplyServerSync(ByteReader& r) { LoadSnapshot(r.Blob()); }
+
+void TtyServerProgram::SerializeState(ByteWriter& w) const {
+  w.Blob(SnapshotState());
+  w.U32(ops_since_sync_);
+}
+
+void TtyServerProgram::RestoreState(ByteReader& r) {
+  LoadSnapshot(r.Blob());
+  ops_since_sync_ = r.U32();
+}
+
+}  // namespace auragen

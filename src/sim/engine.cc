@@ -1,0 +1,72 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace auragen {
+
+Engine::Engine() {
+  Logger::Get().set_time_source([this] { return now_; });
+}
+
+Engine::~Engine() { Logger::Get().set_time_source({}); }
+
+EventId Engine::Schedule(SimTime delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+  AURAGEN_CHECK(when >= now_) << "scheduling into the past:" << when << "<" << now_;
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+void Engine::Cancel(EventId id) {
+  if (id == kNoEvent) {
+    return;
+  }
+  cancelled_.push_back(id);
+}
+
+bool Engine::Step(SimTime until) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > until) {
+      return false;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    --live_events_;
+    if (std::find(cancelled_.begin(), cancelled_.end(), ev.id) != cancelled_.end()) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
+                       cancelled_.end());
+      continue;
+    }
+    now_ = ev.when;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Engine::Run(SimTime until) {
+  uint64_t n = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && Step(until)) {
+    ++n;
+  }
+  if (queue_.empty()) {
+    cancelled_.clear();
+  }
+  // Advance the clock to `until` when the horizon, not queue exhaustion,
+  // ended the run — callers treat Run(t) as "simulate through t".
+  if (until != kSimForever && now_ < until && !stop_requested_) {
+    now_ = until;
+  }
+  return n;
+}
+
+}  // namespace auragen

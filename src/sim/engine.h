@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// The whole Auragen 4000 model — clusters, bus, disks, processes — runs on
+// one Engine. Events fire in (time, sequence) order, so ties at the same
+// instant are broken by scheduling order, making every run a deterministic
+// function of the configuration and RNG seed. That determinism is an
+// architectural invariant (DESIGN.md §4): crash/recovery equivalence tests
+// compare whole-machine traces between runs.
+
+#ifndef AURAGEN_SRC_SIM_ENGINE_H_
+#define AURAGEN_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace auragen {
+
+// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. Returns an id usable with
+  // Cancel(). Callbacks may schedule further events freely.
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules at an absolute time (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op (the common pattern: timers that usually fire).
+  void Cancel(EventId id);
+
+  // Runs until the event queue empties or `until` is reached, whichever is
+  // first. Returns the number of events dispatched.
+  uint64_t Run(SimTime until = kSimForever);
+
+  // Runs exactly one event if any is pending before `until`. Returns false
+  // when nothing was dispatched.
+  bool Step(SimTime until = kSimForever);
+
+  bool Empty() const { return live_events_ == 0; }
+  uint64_t dispatched() const { return dispatched_; }
+
+  // Requests that Run() return after the current callback. The queue is
+  // left intact; Run() can be called again.
+  void Stop() { stop_requested_ = true; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t dispatched_ = 0;
+  uint64_t live_events_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily; small in practice
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_SIM_ENGINE_H_

@@ -1,0 +1,142 @@
+// Unit tests for src/base: ids, codecs, Result, deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/codec.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace auragen {
+namespace {
+
+TEST(Gpid, EncodesClusterAndCounter) {
+  Gpid g = Gpid::Make(7, 123456);
+  EXPECT_EQ(g.origin_cluster(), 7u);
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(kNoGpid.valid());
+  EXPECT_EQ(Gpid::Make(7, 123456), g);
+  EXPECT_NE(Gpid::Make(8, 123456), g);
+  EXPECT_LT(Gpid::Make(7, 1), Gpid::Make(7, 2));
+}
+
+TEST(Gpid, SurvivesLargeCounters) {
+  Gpid g = Gpid::Make(31, 0xffffffffffffull);
+  EXPECT_EQ(g.origin_cluster(), 31u);
+}
+
+TEST(Codec, RoundTripsScalars) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I32(-42);
+  w.I64(-1234567890123ll);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0xbeef);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.I64(), -1234567890123ll);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, RoundTripsBlobsAndStrings) {
+  ByteWriter w;
+  w.Blob(Bytes{1, 2, 3});
+  w.Str("auros");
+  w.Blob(Bytes{});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.Blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.Str(), "auros");
+  EXPECT_TRUE(r.Blob().empty());
+}
+
+TEST(Codec, ShortReadPanics) {
+  ByteWriter w;
+  w.U16(7);
+  ByteReader r(w.bytes());
+  r.U16();
+  EXPECT_DEATH(r.U32(), "short message");
+}
+
+TEST(Codec, Fnv1aStableAndSensitive) {
+  Bytes a{1, 2, 3};
+  Bytes b{1, 2, 4};
+  EXPECT_EQ(Fnv1a(a), Fnv1a(a));
+  EXPECT_NE(Fnv1a(a), Fnv1a(b));
+  EXPECT_NE(Fnv1a(a), Fnv1a(Bytes{}));
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.error(), Errc::kOk);
+
+  Result<int> bad(Errc::kNoEntry);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::kNoEntry);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = OkResult();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad(Errc::kIo);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::kIo);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(54321);
+  EXPECT_NE(Rng(12345).Next(), c.Next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng.Range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+  }
+  EXPECT_EQ(rng.Range(9, 9), 9u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(99);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace auragen

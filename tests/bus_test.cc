@@ -1,0 +1,173 @@
+// Unit tests for the intercluster bus: the §5.1 atomicity guarantees, the
+// serialization property, dual-line failover, and the deliberate-violation
+// hooks used by the negative recovery tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bus/intercluster_bus.h"
+#include "src/sim/engine.h"
+
+namespace auragen {
+namespace {
+
+struct Recorder : BusEndpoint {
+  std::vector<Frame> frames;
+  Engine* engine = nullptr;
+  std::vector<SimTime> times;
+  void OnFrame(const Frame& frame) override {
+    frames.push_back(frame);
+    if (engine != nullptr) {
+      times.push_back(engine->Now());
+    }
+  }
+};
+
+struct BusFixture {
+  Engine engine;
+  BusConfig config;
+  InterclusterBus bus{engine, config, 4};
+  Recorder endpoints[4];
+
+  BusFixture() {
+    for (ClusterId c = 0; c < 4; ++c) {
+      endpoints[c].engine = &engine;
+      bus.AttachEndpoint(c, &endpoints[c]);
+    }
+  }
+};
+
+TEST(Bus, MulticastReachesExactlyTheTargets) {
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(3), Bytes{42});
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[0].frames.empty());
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  EXPECT_TRUE(f.endpoints[2].frames.empty());
+  ASSERT_EQ(f.endpoints[3].frames.size(), 1u);
+  EXPECT_EQ(f.endpoints[1].frames[0].payload, Bytes{42});
+  EXPECT_EQ(f.bus.stats().frames_sent, 1u);
+  EXPECT_EQ(f.bus.stats().deliveries, 2u);
+}
+
+TEST(Bus, SelfDeliveryAfterTransmission) {
+  BusFixture f;
+  f.bus.Transmit(2, MaskOf(2), Bytes{7});
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[2].frames.size(), 1u);
+  EXPECT_GT(f.engine.Now(), 0u);  // delivery cost simulated time
+}
+
+TEST(Bus, NoInterleaving) {
+  // §5.1 guarantee 2: if A is accepted before B, A lands everywhere before
+  // B lands anywhere. All four endpoints must see the same total order.
+  BusFixture f;
+  for (uint8_t i = 0; i < 10; ++i) {
+    f.bus.Transmit(i % 4, MaskOf(0) | MaskOf(1) | MaskOf(2) | MaskOf(3), Bytes{i});
+  }
+  f.engine.Run();
+  for (ClusterId c = 0; c < 4; ++c) {
+    ASSERT_EQ(f.endpoints[c].frames.size(), 10u);
+    for (uint8_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(f.endpoints[c].frames[i].payload[0], i) << "cluster " << c;
+    }
+  }
+}
+
+TEST(Bus, AllDestinationsSameInstant) {
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(2) | MaskOf(3), Bytes{1});
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].times.size(), 1u);
+  EXPECT_EQ(f.endpoints[1].times[0], f.endpoints[2].times[0]);
+  EXPECT_EQ(f.endpoints[2].times[0], f.endpoints[3].times[0]);
+}
+
+TEST(Bus, DetachedEndpointMissesFrames) {
+  BusFixture f;
+  f.bus.DetachEndpoint(1);
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(2), Bytes{9});
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[1].frames.empty());
+  EXPECT_EQ(f.endpoints[2].frames.size(), 1u);
+}
+
+TEST(Bus, TransmissionTimeScalesWithSize) {
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1), Bytes(16, 0));
+  f.engine.Run();
+  SimTime small = f.endpoints[1].times[0];
+
+  BusFixture g;
+  g.bus.Transmit(0, MaskOf(1), Bytes(4096, 0));
+  g.engine.Run();
+  SimTime large = g.endpoints[1].times[0];
+  EXPECT_GT(large, small);
+}
+
+TEST(Bus, LineFailoverCostsTimeButDelivers) {
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1), Bytes{1});
+  f.engine.Run();
+  SimTime normal = f.endpoints[1].times[0];
+
+  BusFixture g;
+  g.bus.FailLine(0);
+  g.bus.Transmit(0, MaskOf(1), Bytes{1});
+  g.engine.Run();
+  ASSERT_EQ(g.endpoints[1].frames.size(), 1u);
+  EXPECT_GT(g.endpoints[1].times[0], normal);
+  EXPECT_EQ(g.bus.stats().failovers, 1u);
+}
+
+TEST(Bus, BothLinesDeadQueuesUntilRestore) {
+  BusFixture f;
+  f.bus.FailLine(0);
+  f.bus.FailLine(1);
+  f.bus.Transmit(0, MaskOf(1), Bytes{1});
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[1].frames.empty());
+  f.bus.RestoreLine(1);
+  f.engine.Run();
+  EXPECT_EQ(f.endpoints[1].frames.size(), 1u);
+}
+
+TEST(Bus, InjectedDropViolatesAllOrNothing) {
+  BusFixture f;
+  f.bus.InjectAtomicityViolation(AtomicityViolation::kDropPerDestination, 0.5, 42);
+  for (int i = 0; i < 50; ++i) {
+    f.bus.Transmit(0, MaskOf(1) | MaskOf(2), Bytes{static_cast<uint8_t>(i)});
+  }
+  f.engine.Run();
+  // With p=0.5 per destination, the two receivers must disagree somewhere.
+  EXPECT_NE(f.endpoints[1].frames.size(), f.endpoints[2].frames.size());
+}
+
+TEST(Bus, InjectedInterleavingBreaksSameInstantDelivery) {
+  BusFixture f;
+  f.bus.InjectAtomicityViolation(AtomicityViolation::kInterleave, 1.0, 7);
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(2), Bytes{1});
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  ASSERT_EQ(f.endpoints[2].frames.size(), 1u);
+  // Jittered deliveries rarely coincide; allow equality only if jitter drew
+  // the same value twice — assert at least the mechanism engaged by checking
+  // the pair over several frames.
+  bool diverged = f.endpoints[1].times[0] != f.endpoints[2].times[0];
+  for (int i = 0; !diverged && i < 10; ++i) {
+    f.bus.Transmit(0, MaskOf(1) | MaskOf(2), Bytes{2});
+    f.engine.Run();
+    diverged = f.endpoints[1].times.back() != f.endpoints[2].times.back();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Bus, RejectsBadClusterCounts) {
+  Engine engine;
+  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 1), "2..32");
+  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 33), "2..32");
+}
+
+}  // namespace
+}  // namespace auragen

@@ -1,0 +1,176 @@
+// Unit tests for the routing table (§7.4.1) and the NativeBody page-diff
+// machinery that system servers sync through.
+
+#include <gtest/gtest.h>
+
+#include "src/core/routing.h"
+#include "src/kernel/native_body.h"
+
+namespace auragen {
+namespace {
+
+const Gpid kA = Gpid::Make(0, 10);
+const Gpid kB = Gpid::Make(1, 11);
+const ChannelId kCh1{100};
+const ChannelId kCh2{200};
+
+TEST(RoutingTable, PrimaryAndBackupEntriesAreDistinct) {
+  RoutingTable table;
+  RoutingEntry& primary = table.Create(kCh1, kA, /*backup=*/false);
+  RoutingEntry& backup = table.Create(kCh1, kA, /*backup=*/true);
+  primary.reads_since_sync = 5;
+  backup.writes_since_sync = 3;
+  EXPECT_EQ(table.Find(kCh1, kA, false)->reads_since_sync, 5u);
+  EXPECT_EQ(table.Find(kCh1, kA, true)->writes_since_sync, 3u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RoutingTable, BothEndsOfAChannelCanShareACluster) {
+  RoutingTable table;
+  table.Create(kCh1, kA, false);
+  table.Create(kCh1, kB, false);
+  EXPECT_NE(table.Find(kCh1, kA, false), table.Find(kCh1, kB, false));
+}
+
+TEST(RoutingTable, FindMissReturnsNull) {
+  RoutingTable table;
+  EXPECT_EQ(table.Find(kCh1, kA, false), nullptr);
+  table.Create(kCh1, kA, false);
+  EXPECT_EQ(table.Find(kCh2, kA, false), nullptr);
+  EXPECT_EQ(table.Find(kCh1, kB, false), nullptr);
+  EXPECT_EQ(table.Find(kCh1, kA, true), nullptr);
+}
+
+TEST(RoutingTable, EntriesOfFiltersByOwnerAndRole) {
+  RoutingTable table;
+  table.Create(kCh1, kA, false);
+  table.Create(kCh2, kA, false);
+  table.Create(kCh1, kB, false);
+  table.Create(kCh2, kA, true);
+  EXPECT_EQ(table.EntriesOf(kA, false).size(), 2u);
+  EXPECT_EQ(table.EntriesOf(kA, true).size(), 1u);
+  EXPECT_EQ(table.EntriesOf(kB, false).size(), 1u);
+}
+
+TEST(RoutingTable, RemoveAllOfErasesOnlyTheRole) {
+  RoutingTable table;
+  table.Create(kCh1, kA, false);
+  table.Create(kCh2, kA, false);
+  table.Create(kCh1, kA, true);
+  table.RemoveAllOf(kA, false);
+  EXPECT_EQ(table.EntriesOf(kA, false).size(), 0u);
+  EXPECT_EQ(table.EntriesOf(kA, true).size(), 1u);
+}
+
+TEST(RoutingTable, CreateReplacesStaleEntry) {
+  RoutingTable table;
+  RoutingEntry& e1 = table.Create(kCh1, kA, false);
+  e1.queue.push_back(QueuedMsg{});
+  RoutingEntry& e2 = table.Create(kCh1, kA, false);
+  EXPECT_TRUE(e2.queue.empty());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, ForEachVisitsEverything) {
+  RoutingTable table;
+  table.Create(kCh1, kA, false);
+  table.Create(kCh2, kB, true);
+  int visited = 0;
+  table.ForEach([&](RoutingEntry&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+// ----------------------------- NativeBody page-diff sync (system servers)
+
+class CounterProgram : public NativeProgram {
+ public:
+  SyscallRequest Next(const SyscallResult&, bool) override {
+    ++counter_;
+    SyscallRequest req;
+    req.num = Sys::kRead;
+    req.a = kAnyChannel;
+    return req;
+  }
+  void SerializeState(ByteWriter& w) const override {
+    w.U64(counter_);
+    w.Blob(blob_);
+  }
+  void RestoreState(ByteReader& r) override {
+    counter_ = r.U64();
+    blob_ = r.Blob();
+  }
+  uint64_t counter_ = 0;
+  Bytes blob_;
+};
+
+TEST(NativeBodyPaging, DirtyPagesTrackStateChanges) {
+  auto program = std::make_unique<CounterProgram>();
+  CounterProgram* p = program.get();
+  p->counter_ = 7;  // all-zero state would (correctly) ship nothing
+  NativeBody body(std::move(program), /*paged_ft=*/true);
+  std::vector<PageNum> dirty = body.DirtyPages();
+  EXPECT_FALSE(dirty.empty());
+  for (PageNum page : dirty) {
+    (void)body.PageContent(page);
+  }
+  body.ClearDirty();
+  EXPECT_TRUE(body.DirtyPages().empty());
+
+  // A state change re-dirties exactly the affected chunk(s).
+  p->counter_ = 999;
+  dirty = body.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 0u);
+}
+
+TEST(NativeBodyPaging, GrowthAddsChunks) {
+  auto program = std::make_unique<CounterProgram>();
+  CounterProgram* p = program.get();
+  NativeBody body(std::move(program), /*paged_ft=*/true);
+  body.DirtyPages();
+  body.ClearDirty();
+  p->blob_ = Bytes(3 * kAvmPageBytes, 0xEE);
+  std::vector<PageNum> dirty = body.DirtyPages();
+  EXPECT_GE(dirty.size(), 3u);
+}
+
+TEST(NativeBodyPaging, RestoreRebuildsFromInstalledChunks) {
+  auto program = std::make_unique<CounterProgram>();
+  CounterProgram* p = program.get();
+  NativeBody body(std::move(program), /*paged_ft=*/true);
+  p->counter_ = 1234;
+  p->blob_ = Bytes(100, 0x1);
+  std::vector<PageNum> dirty = body.DirtyPages();
+  std::vector<Bytes> chunks;
+  for (PageNum page : dirty) {
+    chunks.push_back(body.PageContent(page));
+  }
+  body.ClearDirty();
+  Bytes context = body.CaptureContext();
+
+  auto program2 = std::make_unique<CounterProgram>();
+  CounterProgram* p2 = program2.get();
+  NativeBody restored(std::move(program2), /*paged_ft=*/true);
+  restored.RestoreContext(context);
+  restored.EvictAllPages();
+  EXPECT_TRUE(restored.NeedsServerPaging());
+  // The first Run faults each chunk in order.
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    BodyRun run = restored.Run(100);
+    ASSERT_EQ(run.kind, BodyRun::Kind::kPageFault);
+    EXPECT_EQ(run.fault_page, i);
+    restored.InstallPage(run.fault_page, /*known=*/true, chunks[i]);
+  }
+  BodyRun run = restored.Run(100);
+  EXPECT_EQ(run.kind, BodyRun::Kind::kSyscall);
+  EXPECT_EQ(p2->counter_, 1235u);  // restored 1234, one Next() since
+  EXPECT_EQ(p2->blob_, Bytes(100, 0x1));
+}
+
+TEST(NativeBodyPaging, PeripheralBodiesReportNoDirtyPages) {
+  NativeBody body(std::make_unique<CounterProgram>(), /*paged_ft=*/false);
+  EXPECT_TRUE(body.DirtyPages().empty());
+}
+
+}  // namespace
+}  // namespace auragen

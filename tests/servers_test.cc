@@ -1,0 +1,454 @@
+// Unit tests for the server state machines, driven through ProgramHarness
+// (no machine, no kernels): the page server's copy-on-sync accounts and
+// op-log replay, the file server's shadow-block filesystem and channel
+// pairing, the tty server's sequencing and bindings, and the process
+// server's time/alarm/signal hub.
+
+#include <gtest/gtest.h>
+
+#include "src/paging/page_server.h"
+#include "src/servers/file_server.h"
+#include "src/servers/process_server.h"
+#include "src/servers/tty_server.h"
+#include "tests/program_harness.h"
+
+namespace auragen {
+namespace {
+
+const Gpid kUser = Gpid::Make(1, 42);
+constexpr uint64_t kChan = 0x1000000000007ull;
+
+// ------------------------------------------------------------- page server
+
+Bytes PageWriteMsg(Gpid pid, PageNum page, uint8_t fill) {
+  PageWriteBody body;
+  body.pid = pid;
+  body.page = page;
+  body.content = Bytes(kAvmPageBytes, fill);
+  return body.Encode();
+}
+
+Bytes SyncMsg(Gpid pid) {
+  SyncRecord record;
+  record.pid = pid;
+  record.sync_seq = 1;
+  return record.Encode();
+}
+
+TEST(PageServer, WriteGoesToPrimaryAccountOnly) {
+  PageServerProgram ps(PageServerOptions{});
+  ProgramHarness h(ps);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 3, 0xAA));
+  h.Drain();
+  EXPECT_TRUE(ps.PrimaryHasPage(kUser, 3));
+  EXPECT_FALSE(ps.BackupHasPage(kUser, 3));
+  EXPECT_EQ(h.disk_writes, 1u);
+}
+
+TEST(PageServer, SyncCopiesAccountSharingBlocks) {
+  PageServerProgram ps(PageServerOptions{});
+  ProgramHarness h(ps);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 3, 0xAA));
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kSync, SyncMsg(kUser));
+  h.Drain();
+  EXPECT_TRUE(ps.BackupHasPage(kUser, 3));
+  // §7.8: "After a sync, only one copy of each page will exist" — one block
+  // backs both accounts.
+  EXPECT_EQ(ps.blocks_in_use(), 1u);
+  // A newer version splits the copies (two blocks), next sync re-merges.
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 3, 0xBB));
+  h.Deliver();
+  EXPECT_EQ(ps.blocks_in_use(), 2u);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kSync, SyncMsg(kUser));
+  h.Deliver();
+  EXPECT_EQ(ps.blocks_in_use(), 1u);
+}
+
+TEST(PageServer, RequestServedFromBackupAccount) {
+  PageServerProgram ps(PageServerOptions{});
+  ProgramHarness h(ps);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 5, 0x11));
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kSync, SyncMsg(kUser));
+  // Newer un-synced version must NOT be served to a recovering backup.
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 5, 0x22));
+  PageRequestBody req;
+  req.pid = kUser;
+  req.page = 5;
+  req.cookie = 77;
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageRequest, req.Encode());
+  h.Drain();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].kind, 3u);  // kPageReply
+  PageReplyBody reply = PageReplyBody::Decode(h.sent[0].payload);
+  EXPECT_TRUE(reply.known);
+  EXPECT_EQ(reply.cookie, 77u);
+  ASSERT_FALSE(reply.content.empty());
+  EXPECT_EQ(reply.content[0], 0x11);  // last-sync version, not 0x22
+}
+
+TEST(PageServer, UnknownPageRepliesZeroFill) {
+  PageServerProgram ps(PageServerOptions{});
+  ProgramHarness h(ps);
+  PageRequestBody req;
+  req.pid = kUser;
+  req.page = 9;
+  req.cookie = 5;
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageRequest, req.Encode());
+  h.Drain();
+  ASSERT_EQ(h.sent.size(), 1u);
+  PageReplyBody reply = PageReplyBody::Decode(h.sent[0].payload);
+  EXPECT_FALSE(reply.known);
+}
+
+TEST(PageServer, ServerSyncOpsReplayRebuildsMirror) {
+  PageServerOptions options;
+  options.sync_every_ops = 3;
+  PageServerProgram primary(options);
+  ProgramHarness h(primary);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 1, 1));
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 2, 2));
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kSync, SyncMsg(kUser));
+  h.Drain();
+  ASSERT_EQ(h.server_syncs.size(), 1u);
+
+  // Backup applies the op log and mirrors the accounts.
+  PageServerProgram backup(options);
+  ByteReader r(h.server_syncs[0]);
+  ServerSyncPrefix::Deserialize(r);  // trim prefix consumed by the kernel
+  backup.ApplyServerSync(r);
+  EXPECT_TRUE(backup.PrimaryHasPage(kUser, 1));
+  EXPECT_TRUE(backup.BackupHasPage(kUser, 2));
+  EXPECT_EQ(backup.blocks_in_use(), primary.blocks_in_use());
+}
+
+TEST(PageServer, StateSerializationRoundTrip) {
+  PageServerProgram ps(PageServerOptions{});
+  ProgramHarness h(ps);
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kPageWrite, PageWriteMsg(kUser, 1, 1));
+  h.Push(kChan, kUser, kBindPageChannel, MsgKind::kSync, SyncMsg(kUser));
+  h.Drain();
+  ByteWriter w;
+  ps.SerializeState(w);
+  PageServerProgram restored(PageServerOptions{});
+  ByteReader r(w.bytes());
+  restored.RestoreState(r);
+  EXPECT_TRUE(restored.BackupHasPage(kUser, 1));
+  ByteWriter w2;
+  restored.SerializeState(w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+// ------------------------------------------------------------- file server
+
+Bytes OpenMsg(const std::string& name, uint64_t cookie = 1) {
+  OpenRequest open;
+  open.cookie = cookie;
+  open.name = name;
+  open.opener = kUser;
+  open.opener_cluster = 1;
+  open.opener_backup = 0;
+  return open.Encode();
+}
+
+struct FsFixture {
+  FileServerProgram fs{FileServerOptions{}};
+  ProgramHarness h{fs};
+  FsFixture() { h.Drain(); }  // boot: whoami + format
+
+  // Opens `name`, returns the channel id from the reply.
+  uint64_t Open(const std::string& name) {
+    size_t before = h.sent.size();
+    h.Push(kChan, kUser, kBindFsChannel, MsgKind::kUser, OpenMsg(name));
+    h.Deliver();
+    AURAGEN_CHECK(h.sent.size() == before + 1);
+    OpenReplyBody reply = OpenReplyBody::Decode(h.sent.back().payload);
+    AURAGEN_CHECK(reply.status == 0);
+    return reply.channel.value;
+  }
+
+  void Write(uint64_t chan, const Bytes& data) {
+    h.Push(chan, kUser, 0, MsgKind::kUser, EncodeTaggedBlob(ReqTag::kFileWrite, data));
+    h.Deliver();
+  }
+
+  Bytes Read(uint64_t chan, uint64_t max) {
+    size_t before = h.sent.size();
+    h.Push(chan, kUser, 0, MsgKind::kUser, EncodeTaggedU64(ReqTag::kFileRead, max));
+    h.Deliver();
+    AURAGEN_CHECK(h.sent.size() == before + 1);
+    ByteReader r(h.sent.back().payload);
+    AURAGEN_CHECK(static_cast<ReqTag>(r.U8()) == ReqTag::kData);
+    return r.Blob();
+  }
+};
+
+TEST(FileServer, FormatsVirginDiskWithSuperblock) {
+  FsFixture f;
+  EXPECT_GE(f.h.disk_writes, 1u);
+  EXPECT_TRUE(f.h.disk.count(1) != 0);  // epoch 1 commits to slot 1
+}
+
+TEST(FileServer, OpenCreatesFileAndAcceptsChannel) {
+  FsFixture f;
+  uint64_t chan = f.Open("alpha.txt");
+  EXPECT_NE(chan, 0u);
+  EXPECT_TRUE(f.fs.HasFile("alpha.txt"));
+  ASSERT_EQ(f.h.accepts.size(), 1u);
+  EXPECT_EQ(f.h.accepts[0].channel.value, chan);
+  EXPECT_EQ(f.h.accepts[0].peer_pid, kUser);
+}
+
+TEST(FileServer, WriteThenReadBack) {
+  FsFixture f;
+  uint64_t chan = f.Open("data.bin");
+  Bytes payload(300, 0x5A);  // spans a block boundary
+  f.Write(chan, payload);
+  EXPECT_EQ(f.fs.FileSize("data.bin"), 300u);
+  uint64_t chan2 = f.Open("data.bin");
+  Bytes back = f.Read(chan2, 1024);
+  EXPECT_EQ(back, payload);
+}
+
+TEST(FileServer, AppendsAccumulateAcrossTailBlocks) {
+  FsFixture f;
+  uint64_t chan = f.Open("log");
+  for (int i = 0; i < 5; ++i) {
+    f.Write(chan, Bytes(200, static_cast<uint8_t>('a' + i)));
+  }
+  EXPECT_EQ(f.fs.FileSize("log"), 1000u);
+  uint64_t chan2 = f.Open("log");
+  Bytes back = f.Read(chan2, 2000);
+  ASSERT_EQ(back.size(), 1000u);
+  EXPECT_EQ(back[0], 'a');
+  EXPECT_EQ(back[399], 'b');
+  EXPECT_EQ(back[999], 'e');
+}
+
+TEST(FileServer, SequentialReadsAdvanceOffset) {
+  FsFixture f;
+  uint64_t chan = f.Open("seq");
+  Bytes data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  f.Write(chan, data);
+  uint64_t rchan = f.Open("seq");
+  Bytes first = f.Read(rchan, 40);
+  Bytes second = f.Read(rchan, 40);
+  Bytes third = f.Read(rchan, 40);
+  Bytes eof = f.Read(rchan, 40);
+  EXPECT_EQ(first.size(), 40u);
+  EXPECT_EQ(second[0], 40);
+  EXPECT_EQ(third.size(), 20u);
+  EXPECT_TRUE(eof.empty());
+}
+
+TEST(FileServer, ChannelPairingRepliesToBothOpeners) {
+  FsFixture f;
+  f.h.Push(kChan, kUser, kBindFsChannel, MsgKind::kUser, OpenMsg("ch:duo", 11));
+  f.h.Deliver();
+  EXPECT_TRUE(f.h.sent.empty());  // first opener waits
+  Gpid other = Gpid::Make(0, 17);
+  OpenRequest open;
+  open.cookie = 22;
+  open.name = "ch:duo";
+  open.opener = other;
+  open.opener_cluster = 0;
+  open.opener_backup = 1;
+  f.h.Push(kChan + 1, other, kBindFsChannel, MsgKind::kUser, open.Encode());
+  f.h.Deliver();
+  ASSERT_EQ(f.h.sent.size(), 2u);
+  OpenReplyBody to_first = OpenReplyBody::Decode(f.h.sent[0].payload);
+  OpenReplyBody to_second = OpenReplyBody::Decode(f.h.sent[1].payload);
+  EXPECT_EQ(f.h.sent[0].channel, kChan);      // replies on each control channel
+  EXPECT_EQ(f.h.sent[1].channel, kChan + 1);
+  EXPECT_EQ(to_first.channel, to_second.channel);  // one shared channel
+  EXPECT_EQ(to_first.peer_pid, other);
+  EXPECT_EQ(to_second.peer_pid, kUser);
+  EXPECT_EQ(to_first.request_cookie, 11u);
+  EXPECT_EQ(to_second.request_cookie, 22u);
+}
+
+TEST(FileServer, ShadowCommitPreservesOldStateUntilSuperblockFlips) {
+  FileServerOptions options;
+  options.sync_every_ops = 2;
+  FileServerProgram fs(options);
+  ProgramHarness h(fs);
+  h.Drain();
+  // Trigger enough ops for a commit.
+  h.Push(kChan, kUser, kBindFsChannel, MsgKind::kUser, OpenMsg("f"));
+  h.Deliver();
+  OpenReplyBody reply = OpenReplyBody::Decode(h.sent.back().payload);
+  h.Push(reply.channel.value, kUser, 0, MsgKind::kUser,
+         EncodeTaggedBlob(ReqTag::kFileWrite, Bytes(10, 7)));
+  h.Deliver();
+  EXPECT_GE(fs.commits(), 2u);  // format + at least one shadow commit
+  ASSERT_GE(h.server_syncs.size(), 1u);
+
+  // A fresh instance booted from the same disk + runtime opaque reads the
+  // file back — the §7.9 dual-ported-disk recovery path.
+  FileServerProgram recovered(options);
+  {
+    ByteReader r(h.server_syncs.back());
+    ServerSyncPrefix::Deserialize(r);
+    recovered.ApplyServerSync(r);
+  }
+  ProgramHarness h2(recovered);
+  h2.disk = h.disk;  // the dual-ported disk
+  h2.Drain();        // boots from the committed superblock
+  EXPECT_TRUE(recovered.HasFile("f"));
+  EXPECT_EQ(recovered.FileSize("f"), 10u);
+}
+
+// -------------------------------------------------------------- tty server
+
+TEST(TtyServer, BindThenInputForwardsToSession) {
+  TtyServerProgram tty(TtyServerOptions{});
+  ProgramHarness h(tty);
+  h.Push(kChan, kUser, kBindTtyLineBase + 0, MsgKind::kUser, EncodeTagged(ReqTag::kTtyBind));
+  h.Drain();
+  ByteWriter in;
+  in.U8(static_cast<uint8_t>(ReqTag::kDevInput));
+  in.U32(0);
+  in.Blob(Bytes{'h', 'i'});
+  h.Push(99, kUser, kBindSelfChannel, MsgKind::kUser, in.Take());
+  h.Deliver();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].channel, kChan);
+  ByteReader r(h.sent[0].payload);
+  EXPECT_EQ(static_cast<ReqTag>(r.U8()), ReqTag::kTtyInput);
+  EXPECT_EQ(r.Blob(), (Bytes{'h', 'i'}));
+}
+
+TEST(TtyServer, OutputsCarryMonotonicSequence) {
+  TtyServerProgram tty(TtyServerOptions{});
+  ProgramHarness h(tty);
+  for (int i = 0; i < 3; ++i) {
+    h.Push(kChan, kUser, kBindTtyLineBase + 2, MsgKind::kUser,
+           EncodeTaggedBlob(ReqTag::kTtyWrite, Bytes{static_cast<uint8_t>('0' + i)}));
+  }
+  h.Drain();
+  ASSERT_EQ(h.tty_emits.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ByteReader r(h.tty_emits[i]);
+    EXPECT_EQ(r.U32(), 2u);      // line
+    EXPECT_EQ(r.U64(), i + 1);   // seq
+  }
+}
+
+TEST(TtyServer, CtrlCRoutesSignalThroughProcServer) {
+  TtyServerProgram tty(TtyServerOptions{});
+  ProgramHarness h(tty);
+  h.find_chan[kBindProcChannel] = 555;
+  h.Push(kChan, kUser, kBindTtyLineBase + 0, MsgKind::kUser, EncodeTagged(ReqTag::kTtyBind));
+  h.Drain();
+  ByteWriter in;
+  in.U8(static_cast<uint8_t>(ReqTag::kDevInput));
+  in.U32(0);
+  in.Blob(Bytes{0x03});
+  h.Push(99, kUser, kBindSelfChannel, MsgKind::kUser, in.Take());
+  h.Deliver();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].channel, 555u);
+  ByteReader r(h.sent[0].payload);
+  EXPECT_EQ(static_cast<ReqTag>(r.U8()), ReqTag::kSignalReq);
+  Gpid target;
+  target.value = r.U64();
+  EXPECT_EQ(target, kUser);
+  EXPECT_EQ(r.U32(), kSigInt);
+}
+
+TEST(TtyServer, ServerSyncCarriesBindingsAndSeqs) {
+  TtyServerOptions options;
+  options.sync_every_ops = 1;
+  TtyServerProgram tty(options);
+  ProgramHarness h(tty);
+  h.Push(kChan, kUser, kBindTtyLineBase + 1, MsgKind::kUser,
+         EncodeTaggedBlob(ReqTag::kTtyWrite, Bytes{'x'}));
+  h.Drain();
+  ASSERT_GE(h.server_syncs.size(), 1u);
+  TtyServerProgram backup(options);
+  ByteReader r(h.server_syncs.back());
+  ServerSyncPrefix prefix = ServerSyncPrefix::Deserialize(r);
+  backup.ApplyServerSync(r);
+  ASSERT_EQ(prefix.serviced.size(), 1u);
+  EXPECT_EQ(prefix.serviced[0].first.value, kChan);
+  // The mirrored backup continues the sequence where the primary left off.
+  ProgramHarness h2(backup);
+  h2.Push(kChan, kUser, kBindTtyLineBase + 1, MsgKind::kUser,
+          EncodeTaggedBlob(ReqTag::kTtyWrite, Bytes{'y'}));
+  h2.Drain();
+  ASSERT_EQ(h2.tty_emits.size(), 1u);
+  ByteReader e(h2.tty_emits[0]);
+  e.U32();
+  EXPECT_EQ(e.U64(), 2u);  // continues after the primary's seq 1
+}
+
+// ---------------------------------------------------------- process server
+
+TEST(ProcessServer, TimeRequestRepliesSimTime) {
+  ProcessServerProgram ps;
+  ProgramHarness h(ps);
+  h.now = 123456;
+  h.Push(kChan, kUser, kBindProcChannel, MsgKind::kUser, EncodeTagged(ReqTag::kTime));
+  h.Drain();
+  ASSERT_EQ(h.sent.size(), 1u);
+  ByteReader r(h.sent[0].payload);
+  EXPECT_EQ(static_cast<ReqTag>(r.U8()), ReqTag::kTime64);
+  EXPECT_EQ(r.U64(), 123456u);
+}
+
+TEST(ProcessServer, AlarmArmsTimerAndFiresSignal) {
+  ProcessServerProgram ps;
+  ProgramHarness h(ps);
+  h.find_chan[kBindSignalChannel] = 777;
+  h.Push(kChan, kUser, kBindProcChannel, MsgKind::kUser,
+         EncodeTaggedU64(ReqTag::kAlarm, 5000));
+  h.Drain();
+  ASSERT_EQ(h.timers.size(), 1u);
+  EXPECT_EQ(h.timers[0].first, 5000u);
+  EXPECT_EQ(ps.pending_alarms(), 1u);
+
+  // Timer fires: SIGALRM emitted on the requester's signal channel.
+  h.Push(99, Gpid::Make(31, 1), kBindSelfChannel, MsgKind::kUser,
+         EncodeTaggedU64(ReqTag::kTimerFire, h.timers[0].second));
+  h.Deliver();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].channel, 777u);
+  EXPECT_EQ(h.sent[0].kind, 2u);  // kSignal
+  EXPECT_EQ(ps.pending_alarms(), 0u);
+}
+
+TEST(ProcessServer, RestoreRearmsPendingAlarms) {
+  ProcessServerProgram ps;
+  ProgramHarness h(ps);
+  h.now = 10'000;
+  h.Push(kChan, kUser, kBindProcChannel, MsgKind::kUser,
+         EncodeTaggedU64(ReqTag::kAlarm, 50'000));
+  h.Drain();
+
+  ByteWriter w;
+  ps.SerializeState(w);
+  ProcessServerProgram restored;
+  ByteReader r(w.bytes());
+  restored.RestoreState(r);
+  EXPECT_TRUE(restored.WantsRunAfterRestore());
+  ProgramHarness h2(restored);
+  h2.MarkRestored();
+  h2.now = 30'000;  // 20k us elapsed since the alarm was set
+  h2.Drain();
+  ASSERT_EQ(h2.timers.size(), 1u);
+  EXPECT_EQ(h2.timers[0].first, 30'000u);  // deadline 60k - now 30k
+}
+
+TEST(ProcessServer, StaleTimerFireIsIgnored) {
+  ProcessServerProgram ps;
+  ProgramHarness h(ps);
+  h.Push(99, kUser, kBindSelfChannel, MsgKind::kUser,
+         EncodeTaggedU64(ReqTag::kTimerFire, 424242));
+  h.Drain();
+  EXPECT_TRUE(h.sent.empty());
+}
+
+}  // namespace
+}  // namespace auragen

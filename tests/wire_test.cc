@@ -1,0 +1,239 @@
+// Codec round-trip tests for every wire structure. These matter beyond
+// serialization hygiene: the simulation's honesty rests on backups using
+// only information that actually crossed the bus as bytes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/wire.h"
+
+namespace auragen {
+namespace {
+
+TEST(Wire, MsgHeaderRoundTrip) {
+  MsgHeader h;
+  h.kind = MsgKind::kSync;
+  h.src_pid = Gpid::Make(3, 77);
+  h.dst_pid = Gpid::Make(1, 5);
+  h.channel = ChannelId{0xabcdef};
+  h.dst_primary_cluster = 2;
+  h.dst_backup_cluster = kNoCluster;
+  h.src_backup_cluster = 7;
+  ByteWriter w;
+  h.Serialize(w);
+  ByteReader r(w.bytes());
+  MsgHeader back = MsgHeader::Deserialize(r);
+  EXPECT_EQ(back.kind, h.kind);
+  EXPECT_EQ(back.src_pid, h.src_pid);
+  EXPECT_EQ(back.dst_pid, h.dst_pid);
+  EXPECT_EQ(back.channel, h.channel);
+  EXPECT_EQ(back.dst_primary_cluster, 2u);
+  EXPECT_EQ(back.dst_backup_cluster, kNoCluster);
+  EXPECT_EQ(back.src_backup_cluster, 7u);
+}
+
+TEST(Wire, MsgEncodeDecode) {
+  Msg msg;
+  msg.header.kind = MsgKind::kUser;
+  msg.header.src_pid = Gpid::Make(0, 9);
+  msg.body = Bytes{1, 2, 3, 4, 5};
+  Msg back = Msg::Decode(msg.Encode());
+  EXPECT_EQ(back.header.kind, MsgKind::kUser);
+  EXPECT_EQ(back.header.src_pid, msg.header.src_pid);
+  EXPECT_EQ(back.body, msg.body);
+}
+
+TEST(Wire, SyncRecordRoundTrip) {
+  SyncRecord s;
+  s.pid = Gpid::Make(2, 13);
+  s.sync_seq = 42;
+  s.first_sync = true;
+  s.context = Bytes{9, 8, 7};
+  s.sig_handler = 0x120;
+  s.exec_us = 555;
+  s.backup_cluster = 1;
+  s.primary_cluster = 2;
+  s.mode = static_cast<uint8_t>(BackupMode::kFullback);
+  s.parent = Gpid::Make(2, 12);
+  s.family_head = Gpid::Make(2, 10);
+  SyncChannelRecord c1;
+  c1.channel = ChannelId{100};
+  c1.fd = 3;
+  c1.opened_since_sync = true;
+  c1.reads_since_sync = 7;
+  SyncChannelRecord c2;
+  c2.channel = ChannelId{200};
+  c2.fd = kBadFd;
+  c2.closed_since_sync = true;
+  s.channels = {c1, c2};
+
+  SyncRecord back = SyncRecord::Decode(s.Encode());
+  EXPECT_EQ(back.pid, s.pid);
+  EXPECT_EQ(back.sync_seq, 42u);
+  EXPECT_TRUE(back.first_sync);
+  EXPECT_EQ(back.context, s.context);
+  EXPECT_EQ(back.sig_handler, 0x120u);
+  EXPECT_EQ(back.backup_cluster, 1u);
+  EXPECT_EQ(back.mode, s.mode);
+  EXPECT_EQ(back.parent, s.parent);
+  ASSERT_EQ(back.channels.size(), 2u);
+  EXPECT_EQ(back.channels[0].channel, c1.channel);
+  EXPECT_EQ(back.channels[0].reads_since_sync, 7u);
+  EXPECT_TRUE(back.channels[0].opened_since_sync);
+  EXPECT_TRUE(back.channels[1].closed_since_sync);
+}
+
+TEST(Wire, KernelContextRoundTrip) {
+  KernelContext k;
+  k.body_context = Bytes{1, 1, 2, 3, 5};
+  k.next_fd = 9;
+  k.next_group = 4;
+  k.groups = {{1, {0, 2, 5}}, {3, {}}};
+  k.fork_seq = 6;
+  k.in_signal = true;
+  KernelContext back = KernelContext::Decode(k.Encode());
+  EXPECT_EQ(back.body_context, k.body_context);
+  EXPECT_EQ(back.next_fd, 9);
+  EXPECT_EQ(back.next_group, 4u);
+  ASSERT_EQ(back.groups.size(), 2u);
+  EXPECT_EQ(back.groups[0].second, (std::vector<int32_t>{0, 2, 5}));
+  EXPECT_TRUE(back.groups[1].second.empty());
+  EXPECT_EQ(back.fork_seq, 6u);
+  EXPECT_TRUE(back.in_signal);
+}
+
+TEST(Wire, BirthNoticeRoundTrip) {
+  BirthNotice b;
+  b.parent = Gpid::Make(1, 2);
+  b.child = Gpid::Make(1, 3);
+  b.fork_seq = 2;
+  b.mode = static_cast<uint8_t>(BackupMode::kQuarterback);
+  b.family_head = Gpid::Make(1, 1);
+  b.chan_creates = {Bytes{1, 2}, Bytes{3}};
+  BirthNotice back = BirthNotice::Decode(b.Encode());
+  EXPECT_EQ(back.parent, b.parent);
+  EXPECT_EQ(back.child, b.child);
+  EXPECT_EQ(back.fork_seq, 2u);
+  EXPECT_EQ(back.family_head, b.family_head);
+  ASSERT_EQ(back.chan_creates.size(), 2u);
+  EXPECT_EQ(back.chan_creates[1], Bytes{3});
+}
+
+TEST(Wire, ChanCreateRoundTrip) {
+  ChanCreate c;
+  c.channel = ChannelId{0x42};
+  c.owner = Gpid::Make(0, 20);
+  c.backup_entry = true;
+  c.fd = 2;
+  c.peer_pid = Gpid::Make(1, 30);
+  c.peer_primary_cluster = 1;
+  c.peer_backup_cluster = 0;
+  c.own_backup_cluster = 3;
+  c.peer_kind = 2;
+  c.peer_mode = 1;
+  c.binding_tag = 0x1004;
+  ChanCreate back = ChanCreate::Decode(c.Encode());
+  EXPECT_EQ(back.channel, c.channel);
+  EXPECT_TRUE(back.backup_entry);
+  EXPECT_EQ(back.fd, 2);
+  EXPECT_EQ(back.peer_kind, 2);
+  EXPECT_EQ(back.peer_mode, 1);
+  EXPECT_EQ(back.binding_tag, 0x1004u);
+}
+
+TEST(Wire, OpenReplyRoundTrip) {
+  OpenReplyBody o;
+  o.request_cookie = 9;
+  o.status = -2;
+  o.channel = ChannelId{77};
+  o.peer_pid = Gpid::Make(2, 2);
+  o.peer_primary_cluster = 2;
+  o.peer_backup_cluster = kNoCluster;
+  o.peer_kind = 1;
+  o.peer_mode = 2;
+  OpenReplyBody back = OpenReplyBody::Decode(o.Encode());
+  EXPECT_EQ(back.request_cookie, 9u);
+  EXPECT_EQ(back.status, -2);
+  EXPECT_EQ(back.channel, o.channel);
+  EXPECT_EQ(back.peer_backup_cluster, kNoCluster);
+}
+
+TEST(Wire, PageBodiesRoundTrip) {
+  PageWriteBody w;
+  w.pid = Gpid::Make(1, 1);
+  w.page = 12;
+  w.content = Bytes(256, 0xCC);
+  PageWriteBody wb = PageWriteBody::Decode(w.Encode());
+  EXPECT_EQ(wb.page, 12u);
+  EXPECT_EQ(wb.content, w.content);
+
+  PageRequestBody q;
+  q.pid = Gpid::Make(1, 1);
+  q.page = 12;
+  q.reply_to = 3;
+  q.cookie = 99;
+  PageRequestBody qb = PageRequestBody::Decode(q.Encode());
+  EXPECT_EQ(qb.reply_to, 3u);
+  EXPECT_EQ(qb.cookie, 99u);
+
+  PageReplyBody p;
+  p.pid = q.pid;
+  p.page = 12;
+  p.cookie = 99;
+  p.known = true;
+  p.content = Bytes{5};
+  PageReplyBody pb = PageReplyBody::Decode(p.Encode());
+  EXPECT_TRUE(pb.known);
+  EXPECT_EQ(pb.content, Bytes{5});
+}
+
+TEST(Wire, BackupCreateRoundTrip) {
+  BackupCreateBody b;
+  b.pid = Gpid::Make(0, 50);
+  b.mode = BackupMode::kHalfback;
+  b.parent = Gpid::Make(0, 49);
+  b.family_head = Gpid::Make(0, 48);
+  b.primary_cluster = 1;
+  b.has_sync = true;
+  b.is_server = true;
+  b.peripheral = true;
+  b.sync_seq = 8;
+  b.context = Bytes{1, 2};
+  b.sig_handler = 0;
+  b.exe = Bytes{};
+  b.fds = {{0, 100}, {2, 200}};
+  SavedQueueRecord q;
+  q.channel = ChannelId{100};
+  q.fd = 0;
+  q.peer_pid = Gpid::Make(1, 1);
+  q.peer_kind = 1;
+  q.writes_since_sync = 3;
+  q.queued = {Bytes{9}, Bytes{8, 7}};
+  b.queues = {q};
+
+  BackupCreateBody back = BackupCreateBody::Decode(b.Encode());
+  EXPECT_EQ(back.pid, b.pid);
+  EXPECT_EQ(back.mode, BackupMode::kHalfback);
+  EXPECT_TRUE(back.has_sync);
+  EXPECT_TRUE(back.is_server);
+  EXPECT_TRUE(back.peripheral);
+  ASSERT_EQ(back.fds.size(), 2u);
+  EXPECT_EQ(back.fds[1].second, 200u);
+  ASSERT_EQ(back.queues.size(), 1u);
+  EXPECT_EQ(back.queues[0].writes_since_sync, 3u);
+  ASSERT_EQ(back.queues[0].queued.size(), 2u);
+  EXPECT_EQ(back.queues[0].queued[1], (Bytes{8, 7}));
+}
+
+TEST(Wire, KindNamesCoverEveryKind) {
+  for (MsgKind kind : {MsgKind::kUser, MsgKind::kOpenReply, MsgKind::kSignal, MsgKind::kClose,
+                       MsgKind::kSync, MsgKind::kBirthNotice, MsgKind::kExitNotice,
+                       MsgKind::kCrashNotice, MsgKind::kHeartbeat, MsgKind::kBackupCreate,
+                       MsgKind::kBackupReady, MsgKind::kChanCreate, MsgKind::kPageWrite,
+                       MsgKind::kPageRequest, MsgKind::kPageReply, MsgKind::kServerSync,
+                       MsgKind::kCheckpoint, MsgKind::kProcCrash}) {
+    EXPECT_STRNE(MsgKindName(kind), "?");
+  }
+}
+
+}  // namespace
+}  // namespace auragen
