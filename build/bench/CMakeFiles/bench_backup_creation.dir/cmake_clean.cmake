@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backup_creation.dir/bench_backup_creation.cc.o"
+  "CMakeFiles/bench_backup_creation.dir/bench_backup_creation.cc.o.d"
+  "bench_backup_creation"
+  "bench_backup_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backup_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus.dir/bench_bus.cc.o"
+  "CMakeFiles/bench_bus.dir/bench_bus.cc.o.d"
+  "bench_bus"
+  "bench_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity.dir/bench_capacity.cc.o"
+  "CMakeFiles/bench_capacity.dir/bench_capacity.cc.o.d"
+  "bench_capacity"
+  "bench_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

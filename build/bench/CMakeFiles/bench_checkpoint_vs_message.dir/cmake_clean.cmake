@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_vs_message.dir/bench_checkpoint_vs_message.cc.o"
+  "CMakeFiles/bench_checkpoint_vs_message.dir/bench_checkpoint_vs_message.cc.o.d"
+  "bench_checkpoint_vs_message"
+  "bench_checkpoint_vs_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_vs_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_checkpoint_vs_message.
+# This may be replaced when dependencies are built.

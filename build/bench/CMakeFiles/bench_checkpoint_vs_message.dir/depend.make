@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_checkpoint_vs_message.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_handling.dir/bench_crash_handling.cc.o"
+  "CMakeFiles/bench_crash_handling.dir/bench_crash_handling.cc.o.d"
+  "bench_crash_handling"
+  "bench_crash_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fileserver_sync.cc" "bench/CMakeFiles/bench_fileserver_sync.dir/bench_fileserver_sync.cc.o" "gcc" "bench/CMakeFiles/bench_fileserver_sync.dir/bench_fileserver_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/auragen_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/auragen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/auragen_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/auragen_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/auragen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/auragen_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/auragen_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/avm/CMakeFiles/auragen_avm.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/auragen_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/auragen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/auragen_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

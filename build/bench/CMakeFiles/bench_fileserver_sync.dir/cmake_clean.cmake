@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fileserver_sync.dir/bench_fileserver_sync.cc.o"
+  "CMakeFiles/bench_fileserver_sync.dir/bench_fileserver_sync.cc.o.d"
+  "bench_fileserver_sync"
+  "bench_fileserver_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fileserver_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

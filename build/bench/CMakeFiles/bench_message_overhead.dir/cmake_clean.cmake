@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_overhead.dir/bench_message_overhead.cc.o"
+  "CMakeFiles/bench_message_overhead.dir/bench_message_overhead.cc.o.d"
+  "bench_message_overhead"
+  "bench_message_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_cost.dir/bench_sync_cost.cc.o"
+  "CMakeFiles/bench_sync_cost.dir/bench_sync_cost.cc.o.d"
+  "bench_sync_cost"
+  "bench_sync_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

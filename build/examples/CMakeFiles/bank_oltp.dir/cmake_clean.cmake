@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_oltp.dir/bank_oltp.cpp.o"
+  "CMakeFiles/bank_oltp.dir/bank_oltp.cpp.o.d"
+  "bank_oltp"
+  "bank_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

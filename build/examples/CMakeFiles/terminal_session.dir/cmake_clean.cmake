@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terminal_session.dir/terminal_session.cpp.o"
+  "CMakeFiles/terminal_session.dir/terminal_session.cpp.o.d"
+  "terminal_session"
+  "terminal_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terminal_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for terminal_session.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("bus")
+subdirs("disk")
+subdirs("avm")
+subdirs("kernel")
+subdirs("core")
+subdirs("paging")
+subdirs("servers")
+subdirs("machine")
+subdirs("baselines")

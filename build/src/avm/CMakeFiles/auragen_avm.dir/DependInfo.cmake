@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avm/assembler.cc" "src/avm/CMakeFiles/auragen_avm.dir/assembler.cc.o" "gcc" "src/avm/CMakeFiles/auragen_avm.dir/assembler.cc.o.d"
+  "/root/repo/src/avm/cpu.cc" "src/avm/CMakeFiles/auragen_avm.dir/cpu.cc.o" "gcc" "src/avm/CMakeFiles/auragen_avm.dir/cpu.cc.o.d"
+  "/root/repo/src/avm/memory.cc" "src/avm/CMakeFiles/auragen_avm.dir/memory.cc.o" "gcc" "src/avm/CMakeFiles/auragen_avm.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/auragen_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

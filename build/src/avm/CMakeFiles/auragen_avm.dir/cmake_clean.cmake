@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_avm.dir/assembler.cc.o"
+  "CMakeFiles/auragen_avm.dir/assembler.cc.o.d"
+  "CMakeFiles/auragen_avm.dir/cpu.cc.o"
+  "CMakeFiles/auragen_avm.dir/cpu.cc.o.d"
+  "CMakeFiles/auragen_avm.dir/memory.cc.o"
+  "CMakeFiles/auragen_avm.dir/memory.cc.o.d"
+  "libauragen_avm.a"
+  "libauragen_avm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_avm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

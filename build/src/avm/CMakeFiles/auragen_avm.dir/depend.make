@@ -1,0 +1,2 @@
+# Empty dependencies file for auragen_avm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_base.dir/codec.cc.o"
+  "CMakeFiles/auragen_base.dir/codec.cc.o.d"
+  "CMakeFiles/auragen_base.dir/log.cc.o"
+  "CMakeFiles/auragen_base.dir/log.cc.o.d"
+  "libauragen_base.a"
+  "libauragen_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

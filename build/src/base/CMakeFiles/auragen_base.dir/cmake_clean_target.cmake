@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauragen_base.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_baselines.dir/lockstep.cc.o"
+  "CMakeFiles/auragen_baselines.dir/lockstep.cc.o.d"
+  "libauragen_baselines.a"
+  "libauragen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_bus.dir/intercluster_bus.cc.o"
+  "CMakeFiles/auragen_bus.dir/intercluster_bus.cc.o.d"
+  "libauragen_bus.a"
+  "libauragen_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

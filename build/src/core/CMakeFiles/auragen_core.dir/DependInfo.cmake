@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/crash.cc" "src/core/CMakeFiles/auragen_core.dir/crash.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/crash.cc.o.d"
+  "/root/repo/src/core/delivery.cc" "src/core/CMakeFiles/auragen_core.dir/delivery.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/delivery.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/auragen_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/lifecycle.cc" "src/core/CMakeFiles/auragen_core.dir/lifecycle.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/lifecycle.cc.o.d"
+  "/root/repo/src/core/routing.cc" "src/core/CMakeFiles/auragen_core.dir/routing.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/routing.cc.o.d"
+  "/root/repo/src/core/sync.cc" "src/core/CMakeFiles/auragen_core.dir/sync.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/sync.cc.o.d"
+  "/root/repo/src/core/syscalls.cc" "src/core/CMakeFiles/auragen_core.dir/syscalls.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/syscalls.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/auragen_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/auragen_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/auragen_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/auragen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/auragen_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/avm/CMakeFiles/auragen_avm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/auragen_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

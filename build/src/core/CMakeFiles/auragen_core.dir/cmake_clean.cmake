@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_core.dir/crash.cc.o"
+  "CMakeFiles/auragen_core.dir/crash.cc.o.d"
+  "CMakeFiles/auragen_core.dir/delivery.cc.o"
+  "CMakeFiles/auragen_core.dir/delivery.cc.o.d"
+  "CMakeFiles/auragen_core.dir/kernel.cc.o"
+  "CMakeFiles/auragen_core.dir/kernel.cc.o.d"
+  "CMakeFiles/auragen_core.dir/lifecycle.cc.o"
+  "CMakeFiles/auragen_core.dir/lifecycle.cc.o.d"
+  "CMakeFiles/auragen_core.dir/routing.cc.o"
+  "CMakeFiles/auragen_core.dir/routing.cc.o.d"
+  "CMakeFiles/auragen_core.dir/sync.cc.o"
+  "CMakeFiles/auragen_core.dir/sync.cc.o.d"
+  "CMakeFiles/auragen_core.dir/syscalls.cc.o"
+  "CMakeFiles/auragen_core.dir/syscalls.cc.o.d"
+  "CMakeFiles/auragen_core.dir/wire.cc.o"
+  "CMakeFiles/auragen_core.dir/wire.cc.o.d"
+  "libauragen_core.a"
+  "libauragen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_disk.dir/disk.cc.o"
+  "CMakeFiles/auragen_disk.dir/disk.cc.o.d"
+  "libauragen_disk.a"
+  "libauragen_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

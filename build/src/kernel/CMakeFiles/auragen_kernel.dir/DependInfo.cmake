@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/avm_body.cc" "src/kernel/CMakeFiles/auragen_kernel.dir/avm_body.cc.o" "gcc" "src/kernel/CMakeFiles/auragen_kernel.dir/avm_body.cc.o.d"
+  "/root/repo/src/kernel/native_body.cc" "src/kernel/CMakeFiles/auragen_kernel.dir/native_body.cc.o" "gcc" "src/kernel/CMakeFiles/auragen_kernel.dir/native_body.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/auragen_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/avm/CMakeFiles/auragen_avm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_kernel.dir/avm_body.cc.o"
+  "CMakeFiles/auragen_kernel.dir/avm_body.cc.o.d"
+  "CMakeFiles/auragen_kernel.dir/native_body.cc.o"
+  "CMakeFiles/auragen_kernel.dir/native_body.cc.o.d"
+  "libauragen_kernel.a"
+  "libauragen_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

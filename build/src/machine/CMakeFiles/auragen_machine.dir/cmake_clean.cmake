@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_machine.dir/machine.cc.o"
+  "CMakeFiles/auragen_machine.dir/machine.cc.o.d"
+  "libauragen_machine.a"
+  "libauragen_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

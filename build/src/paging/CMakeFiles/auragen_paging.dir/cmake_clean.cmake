@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_paging.dir/page_server.cc.o"
+  "CMakeFiles/auragen_paging.dir/page_server.cc.o.d"
+  "libauragen_paging.a"
+  "libauragen_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for auragen_paging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_servers.dir/file_server.cc.o"
+  "CMakeFiles/auragen_servers.dir/file_server.cc.o.d"
+  "CMakeFiles/auragen_servers.dir/process_server.cc.o"
+  "CMakeFiles/auragen_servers.dir/process_server.cc.o.d"
+  "CMakeFiles/auragen_servers.dir/tty_server.cc.o"
+  "CMakeFiles/auragen_servers.dir/tty_server.cc.o.d"
+  "libauragen_servers.a"
+  "libauragen_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

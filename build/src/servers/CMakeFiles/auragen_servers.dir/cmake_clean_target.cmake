@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauragen_servers.a"
+)

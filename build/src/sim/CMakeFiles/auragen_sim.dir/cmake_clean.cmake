@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auragen_sim.dir/engine.cc.o"
+  "CMakeFiles/auragen_sim.dir/engine.cc.o.d"
+  "libauragen_sim.a"
+  "libauragen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auragen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_test.dir/avm_test.cc.o"
+  "CMakeFiles/avm_test.dir/avm_test.cc.o.d"
+  "avm_test"
+  "avm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test.dir/bus_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus_test.cc.o.d"
+  "bus_test"
+  "bus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

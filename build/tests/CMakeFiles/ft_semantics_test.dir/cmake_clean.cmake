@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_semantics_test.dir/ft_semantics_test.cc.o"
+  "CMakeFiles/ft_semantics_test.dir/ft_semantics_test.cc.o.d"
+  "ft_semantics_test"
+  "ft_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

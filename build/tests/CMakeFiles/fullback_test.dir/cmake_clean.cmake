@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullback_test.dir/fullback_test.cc.o"
+  "CMakeFiles/fullback_test.dir/fullback_test.cc.o.d"
+  "fullback_test"
+  "fullback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_smoke_test.dir/machine_smoke_test.cc.o"
+  "CMakeFiles/machine_smoke_test.dir/machine_smoke_test.cc.o.d"
+  "machine_smoke_test"
+  "machine_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_property_test.dir/oltp_property_test.cc.o"
+  "CMakeFiles/oltp_property_test.dir/oltp_property_test.cc.o.d"
+  "oltp_property_test"
+  "oltp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

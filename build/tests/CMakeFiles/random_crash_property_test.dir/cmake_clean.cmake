@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_crash_property_test.dir/random_crash_property_test.cc.o"
+  "CMakeFiles/random_crash_property_test.dir/random_crash_property_test.cc.o.d"
+  "random_crash_property_test"
+  "random_crash_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_crash_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_stress_test.dir/recovery_stress_test.cc.o"
+  "CMakeFiles/recovery_stress_test.dir/recovery_stress_test.cc.o.d"
+  "recovery_stress_test"
+  "recovery_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servers_test.dir/servers_test.cc.o"
+  "CMakeFiles/servers_test.dir/servers_test.cc.o.d"
+  "servers_test"
+  "servers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_edge_test.dir/syscall_edge_test.cc.o"
+  "CMakeFiles/syscall_edge_test.dir/syscall_edge_test.cc.o.d"
+  "syscall_edge_test"
+  "syscall_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
