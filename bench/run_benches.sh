@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Run every benchmark binary and collect one JSON result file per bench, so
+# the perf trajectory (BENCH_*.json) can be tracked across commits.
+#
+#   bench/run_benches.sh [BUILD_DIR] [OUT_DIR] [-- extra benchmark args]
+#
+# Example: bench/run_benches.sh build bench-results -- --benchmark_filter=E1
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+shift $(( $# > 2 ? 2 : $# )) || true
+[ "${1:-}" = "--" ] && shift
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_benches.sh: no $BUILD_DIR/bench — build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+status=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  out="$OUT_DIR/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json \
+              --benchmark_format=console "$@"; then
+    echo "run_benches.sh: $name failed" >&2
+    status=1
+  fi
+done
+exit $status

@@ -26,6 +26,8 @@ struct Frame {
   ClusterId src = kNoCluster;  // transmitting cluster
   ClusterMask targets = 0;     // receivers (may include src: local delivery
                                // happens after successful transmission, §7.4.2)
+  SimTime sent_at = 0;         // bus-accept time; observability only, not on
+                               // the wire (excluded from WireSize)
   Bytes payload;
 
   size_t WireSize() const { return payload.size() + kHeaderBytes; }

@@ -33,7 +33,12 @@ void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload
   frame.frame_id = next_frame_id_++;
   frame.src = src;
   frame.targets = targets;
+  frame.sent_at = engine_.Now();
   frame.payload = std::move(payload);
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBusTx, src, 0, 0, frame.frame_id,
+                    frame.WireSize());
+  }
   pending_.push_back(std::move(frame));
   if (!transmitting_) {
     StartNext();
@@ -86,6 +91,10 @@ void InterclusterBus::Deliver(const Frame& frame) {
       engine_.Schedule(jitter, [this, frame, c] {
         if (endpoints_[c] != nullptr) {
           ++stats_.deliveries;
+          if (tracer_ != nullptr) {
+            tracer_->Record(TraceEventKind::kBusRx, c, 0, 0, frame.frame_id,
+                            engine_.Now() - frame.sent_at);
+          }
           endpoints_[c]->OnFrame(frame);
         }
       });
@@ -104,6 +113,10 @@ void InterclusterBus::Deliver(const Frame& frame) {
     }
     if (endpoints_[c] != nullptr) {
       ++stats_.deliveries;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kBusRx, c, 0, 0, frame.frame_id,
+                        engine_.Now() - frame.sent_at);
+      }
       endpoints_[c]->OnFrame(frame);
     }
   }

@@ -103,6 +103,9 @@ class InterclusterBus {
   void ResetStats() { stats_ = BusStats{}; }
   uint32_t num_clusters() const { return static_cast<uint32_t>(endpoints_.size()); }
 
+  // Write-only observability (kBusTx at accept, kBusRx per destination).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void StartNext();
   void Deliver(const Frame& frame);
@@ -115,6 +118,7 @@ class InterclusterBus {
   bool line_ok_[2] = {true, true};
   uint64_t next_frame_id_ = 1;
   BusStats stats_;
+  Tracer* tracer_ = nullptr;
 
   AtomicityViolation violation_ = AtomicityViolation::kNone;
   double violation_probability_ = 0.0;

@@ -39,8 +39,12 @@ void Kernel::HandleCrashNotice(ClusterId dead) {
   }
   crash_handled_[dead] = true;
   peer_alive_[dead] = false;
+  crash_detect_at_[dead] = env_.engine().Now();
   if (env_.metrics().last_crash_detected_at < env_.engine().Now()) {
     env_.metrics().last_crash_detected_at = env_.engine().Now();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCrashDetect, id_, 0, 0, dead, 0);
   }
   ALOG_INFO() << "c" << id_ << ": handling crash of cluster " << dead;
 
@@ -151,6 +155,11 @@ void Kernel::RunCrashHandling(ClusterId dead) {
   transmit_enabled_ = true;
   env_.metrics().crashes_handled++;
   env_.metrics().last_recovery_complete_at = env_.engine().Now();
+  SimTime handling_us = env_.engine().Now() - crash_detect_at_[dead];
+  env_.metrics().rollforward_replay_us += handling_us;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCrashHandled, id_, 0, 0, dead, handling_us);
+  }
   PumpTransmit();
   TryDispatch();
 }
@@ -216,8 +225,10 @@ void Kernel::TakeOver(BackupPcb b) {
   std::vector<RoutingEntry*> flips = routing_.EntriesOf(pid, /*backup=*/true);
   std::vector<RoutingEntry> copies;
   copies.reserve(flips.size());
+  uint64_t replayed = 0;
   for (RoutingEntry* e : flips) {
     copies.push_back(*e);
+    replayed += e->queue.size();
     env_.metrics().rollforward_msgs_replayed += e->queue.size();
   }
   routing_.RemoveAllOf(pid, /*backup=*/true);
@@ -281,6 +292,10 @@ void Kernel::TakeOver(BackupPcb b) {
   Gpid ppid = p.pid;
   procs_[ppid] = std::move(pcb);
   env_.metrics().takeovers++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kTakeover, id_, ppid.value, 0,
+                    b.has_sync ? 1 : 0, replayed);
+  }
   if (p.is_server) {
     env_.OnServerTakeover(ppid, id_);
   }
@@ -294,8 +309,10 @@ void Kernel::TakeOverParkedServer(Pcb& pcb) {
   // read-service loop against the saved queue.
   std::vector<RoutingEntry*> flips = routing_.EntriesOf(pcb.pid, /*backup=*/true);
   std::vector<RoutingEntry> copies;
+  uint64_t replayed = 0;
   for (RoutingEntry* e : flips) {
     copies.push_back(*e);
+    replayed += e->queue.size();
     env_.metrics().rollforward_msgs_replayed += e->queue.size();
   }
   routing_.RemoveAllOf(pcb.pid, /*backup=*/true);
@@ -313,6 +330,9 @@ void Kernel::TakeOverParkedServer(Pcb& pcb) {
   pcb.state = ProcState::kReady;
   EnsureSelfEntry(pcb);
   env_.metrics().takeovers++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kTakeover, id_, pcb.pid.value, 0, 2, replayed);
+  }
   env_.OnServerTakeover(pcb.pid, id_);
   MakeReady(pcb);
 }
@@ -362,6 +382,10 @@ void Kernel::CreateReplacementBackup(Pcb& pcb, const Bytes& sync_context) {
   create.header.dst_pid = pcb.pid;
   create.body = body.Encode();
   env_.metrics().backup_create_bytes += create.body.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBackupShip, id_, pcb.pid.value, 0, 0,
+                    create.body.size());
+  }
   EnqueueOutgoing(std::move(create), MaskOf(pcb.backup_cluster));
 
   // §7.10.1: once the new backup's location is known, peers unfreeze their
@@ -420,6 +444,9 @@ void Kernel::HandleBackupCreate(const BackupCreateBody& body, ClusterId from) {
     }
     procs_[body.pid] = std::move(pcb);
     env_.metrics().backups_created++;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kBackupCreate, id_, body.pid.value, 0, 1, 0);
+    }
     return;
   }
   BackupPcb b;
@@ -460,6 +487,9 @@ void Kernel::HandleBackupCreate(const BackupCreateBody& body, ClusterId from) {
   }
   backups_[body.pid] = std::move(b);
   env_.metrics().backups_created++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBackupCreate, id_, body.pid.value, 0, 0, 0);
+  }
 }
 
 void Kernel::HandleBackupReady(Gpid pid, ClusterId new_backup) {
@@ -609,6 +639,10 @@ void Kernel::RecreateServerBackup(Gpid pid, ClusterId target) {
   create.header.dst_pid = pid;
   create.body = body.Encode();
   env_.metrics().backup_create_bytes += create.body.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBackupShip, id_, pid.value, 0, 1,
+                    create.body.size());
+  }
   EnqueueOutgoing(std::move(create), MaskOf(target));
 
   // Peers resume triple-sending to the new backup location.
@@ -648,6 +682,10 @@ void Kernel::HandleServerSync(const Msg& msg) {
   auto* nb = dynamic_cast<NativeBody*>(pcb->body.get());
   if (nb != nullptr) {
     nb->program().ApplyServerSync(r);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kServerSyncApply, id_, pcb->pid.value, 0,
+                    msg.body.size(), 0);
   }
 }
 

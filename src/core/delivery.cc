@@ -114,6 +114,10 @@ void Kernel::OnFrame(const Frame& frame) {
     }
     return;
   }
+  // Delivery latency (bus accept at the sender to arrival here); heartbeats
+  // never enter this path.
+  env_.metrics().delivery_latency_us_total += env_.engine().Now() - frame.sent_at;
+  env_.metrics().delivery_latency_samples++;
   ExecEnqueue(env_.config().exec_deliver_us, [this, msg = std::move(msg)] {
     DeliverLocal(msg);
   });
@@ -152,6 +156,11 @@ void Kernel::DeliverLocal(const Msg& msg) {
       } else {
         EnqueueAtEntry(*entry, msg);
         env_.metrics().deliveries_primary++;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kDeliverPrimary, id_, h.dst_pid.value,
+                          h.channel.value, static_cast<uint64_t>(h.kind),
+                          msg.body.size());
+        }
       }
       WakeReaders(*entry);
       if (h.kind == MsgKind::kSignal) {
@@ -183,6 +192,11 @@ void Kernel::DeliverLocal(const Msg& msg) {
       } else {
         EnqueueAtEntry(*entry, msg);
         env_.metrics().deliveries_backup++;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kDeliverBackup, id_, h.dst_pid.value,
+                          h.channel.value, static_cast<uint64_t>(h.kind),
+                          msg.body.size());
+        }
       }
     }
     if (h.kind == MsgKind::kOpenReply) {
@@ -210,6 +224,10 @@ void Kernel::DeliverLocal(const Msg& msg) {
     if (entry != nullptr && h.kind != MsgKind::kClose) {
       entry->writes_since_sync++;
       env_.metrics().deliveries_count_only++;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kDeliverCount, id_, h.src_pid.value,
+                        h.channel.value, entry->writes_since_sync, 0);
+      }
     }
   }
 

@@ -16,7 +16,8 @@ Kernel::Kernel(MachineEnv& env, ClusterId id)
       idle_workers_(env.config().work_processors_per_cluster),
       last_heartbeat_(env.config().num_clusters, 0),
       peer_alive_(env.config().num_clusters, true),
-      crash_handled_(env.config().num_clusters, false) {
+      crash_handled_(env.config().num_clusters, false),
+      crash_detect_at_(env.config().num_clusters, 0) {
   kernel_pid_ = Gpid::Make(id_, 1);
 }
 
@@ -125,6 +126,10 @@ Gpid Kernel::Spawn(SpawnSpec spec) {
   Gpid pid = p.pid;
   procs_[pid] = std::move(pcb);
   env_.metrics().processes_spawned++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSpawn, id_, pid.value, 0,
+                    static_cast<uint64_t>(p.mode), p.is_server ? 1 : 0);
+  }
   if (procs_[pid]->state == ProcState::kReady) {
     MakeReady(*procs_[pid]);
   }
@@ -195,6 +200,9 @@ void Kernel::TryDispatch() {
         env_.metrics().last_recovery_first_dispatch_at <
             env_.metrics().last_crash_detected_at) {
       env_.metrics().last_recovery_first_dispatch_at = env_.engine().Now();
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kRecoveryDispatch, id_, pcb.pid.value, 0, 0, 0);
+      }
     }
 
     BodyRun run = pcb.body->Run(WorkBudget(pcb));
@@ -264,6 +272,9 @@ void Kernel::CrashNow() {
     return;
   }
   ALOG_INFO() << "c" << id_ << ": CRASH";
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kClusterCrash, id_, 0, 0, 0, 0);
+  }
   alive_ = false;
   env_.bus().DetachEndpoint(id_);
   // Everything in flight inside this cluster dies with it: queued outgoing
@@ -295,6 +306,9 @@ void Kernel::Restart() {
   }
   crash_handled_[id_] = false;
   env_.bus().AttachEndpoint(id_, this);
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kClusterRestart, id_, 0, 0, 0, 0);
+  }
   env_.engine().Schedule(1, [this] { HeartbeatTick(); });
 }
 

@@ -124,6 +124,10 @@ class Kernel : public BusEndpoint {
   // but the server side is, so requests reach the server's backup queue.
   void CreateKernelChannel(const ServerAddr& server, uint32_t tag);
 
+  // Write-only observability (src/trace contract): never read back, so a
+  // traced kernel behaves identically to an untraced one.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   // ---- scheduling (kernel.cc) ----
   void MakeReady(Pcb& pcb);
@@ -275,6 +279,11 @@ class Kernel : public BusEndpoint {
   std::vector<SimTime> last_heartbeat_;
   std::vector<bool> peer_alive_;
   std::vector<bool> crash_handled_;
+  // When this kernel received the crash notice, per dead cluster (feeds the
+  // rollforward_replay_us aggregate and kCrashHandled trace events).
+  std::vector<SimTime> crash_detect_at_;
+
+  Tracer* tracer_ = nullptr;
 
   // Outstanding page requests: cookie -> waiting pid.
   std::map<uint64_t, Gpid> page_waiters_;

@@ -209,6 +209,10 @@ void Kernel::SendBackupSkeleton(const Pcb& pcb) {
   msg.header.dst_pid = pcb.pid;
   msg.body = body.Encode();
   env_.metrics().backup_create_bytes += msg.body.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBackupShip, id_, pcb.pid.value, 0, 2,
+                    msg.body.size());
+  }
   EnqueueOutgoing(std::move(msg), MaskOf(pcb.backup_cluster));
 }
 
@@ -336,6 +340,10 @@ void Kernel::SysFork(Pcb& parent) {
   }
 
   env_.metrics().processes_spawned++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kFork, id_, child_pid.value, 0,
+                    parent.fork_seq, notice != nullptr ? 1 : 0);
+  }
   procs_[child_pid] = std::move(child);
   MakeReady(*procs_[child_pid]);
   CompleteAndReady(parent, pid_rv(child_pid));
@@ -349,6 +357,10 @@ void Kernel::HandleBirthNotice(const BirthNotice& notice) {
     msg.header.kind = MsgKind::kChanCreate;
     msg.body = blob;
     HandleControl(msg);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBirthNotice, id_, notice.child.value, 0,
+                    notice.fork_seq, 0);
   }
   // Stash for fork replay, deduplicating (a recovered parent resends).
   std::vector<BirthNotice>& store = birth_store_[notice.parent];
@@ -400,6 +412,10 @@ void Kernel::DestroyProcess(Pcb& pcb, int32_t status) {
   }
 
   env_.metrics().processes_exited++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kExit, id_, pid.value, 0,
+                    static_cast<uint64_t>(static_cast<int64_t>(status)), 0);
+  }
   env_.OnProcessExit(pid, status);
   if (exit_hook_) {
     exit_hook_(pid, status);

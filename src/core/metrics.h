@@ -53,6 +53,14 @@ struct Metrics {
   SimTime last_crash_detected_at = 0;
   SimTime last_recovery_first_dispatch_at = 0;  // first unaffected process back on CPU
   SimTime last_recovery_complete_at = 0;        // all takeovers runnable
+  // Crash-notice receipt to takeovers-runnable, summed over (survivor,
+  // crash) pairs — the rollforward-replay cost a survivor pays per crash.
+  SimTime rollforward_replay_us = 0;
+
+  // Delivery latency: bus accept at the sender to frame arrival at each
+  // receiving executive processor (heartbeats excluded).
+  SimTime delivery_latency_us_total = 0;
+  uint64_t delivery_latency_samples = 0;
 
   // Processor accounting (E1/E9: §8.1 claims backup copies cost the
   // executive, never the work processors).

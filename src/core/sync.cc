@@ -119,6 +119,10 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
       body.content = pcb.body->PageContent(page);
       m.sync_pages_shipped++;
       m.sync_bytes_shipped += body.content.size();
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kPageShip, id_, pcb.pid.value, 0, page,
+                        body.content.size());
+      }
       SendKernelChannel(*page_entry, MsgKind::kPageWrite, body.Encode());
       stall += cfg.sync_page_enqueue_us;
     }
@@ -204,6 +208,10 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
 
   m.syncs++;
   m.sync_primary_stall_us += stall;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSyncTrigger, id_, pcb.pid.value, 0,
+                    pcb.sync_seq, stall);
+  }
   if (signal_forced) {
     m.forced_signal_syncs++;
   }
@@ -228,6 +236,10 @@ void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
   b.sync_seq = record.sync_seq;
   b.context = record.context;
   b.sig_handler = record.sig_handler;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSyncApply, id_, record.pid.value, 0,
+                    record.sync_seq, created ? 1 : 0);
+  }
 
   for (const SyncChannelRecord& rec : record.channels) {
     RoutingEntry* entry = routing_.Find(rec.channel, record.pid, /*backup=*/true);
@@ -264,6 +276,10 @@ void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
       entry->queue.pop_front();
       env_.metrics().backup_msgs_trimmed++;
     }
+    if (tracer_ != nullptr && rec.reads_since_sync > 0) {
+      tracer_->Record(TraceEventKind::kSyncTrim, id_, record.pid.value,
+                      rec.channel.value, rec.reads_since_sync, 0);
+    }
     entry->writes_since_sync = 0;
   }
 }
@@ -291,6 +307,10 @@ void Kernel::HandlePageFault(Pcb& pcb, PageNum page) {
   pcb.blocked_page = page;
   pcb.page_cookie = req.cookie;
   page_waiters_[req.cookie] = pcb.pid;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kPageFault, id_, pcb.pid.value, 0, page,
+                    req.cookie);
+  }
   SendKernelChannel(*page_entry, MsgKind::kPageRequest, req.Encode());
 }
 
@@ -308,6 +328,10 @@ void Kernel::HandlePageReply(const PageReplyBody& reply) {
   }
   pcb->body->InstallPage(reply.page, reply.known, reply.content);
   env_.metrics().page_faults_served++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kPageReply, id_, pid.value, 0, reply.page,
+                    reply.known ? 1 : 0);
+  }
   if (!reply.known) {
     env_.metrics().page_fault_zero_fills++;
   }

@@ -60,6 +60,10 @@ void Kernel::SendOnChannel(Pcb& pcb, RoutingEntry& entry, MsgKind kind, Bytes bo
   if (counted && entry.writes_since_sync > 0) {
     entry.writes_since_sync--;
     env_.metrics().sends_suppressed++;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kSendSuppressed, id_, pcb.pid.value,
+                      entry.channel.value, entry.writes_since_sync, 0);
+    }
     return;
   }
 
@@ -78,6 +82,10 @@ void Kernel::SendOnChannel(Pcb& pcb, RoutingEntry& entry, MsgKind kind, Bytes bo
   pcb.writes_total++;
   env_.metrics().messages_sent++;
   env_.metrics().bytes_sent += msg.body.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSend, id_, pcb.pid.value, entry.channel.value,
+                    static_cast<uint64_t>(kind), msg.body.size());
+  }
 
   OutgoingItem item;
   item.msg = std::move(msg);
@@ -579,6 +587,10 @@ void Kernel::DeliverPendingSignal(Pcb& pcb) {
   uint32_t signum = r.U32();
   if (pcb.body->EnterSignal(pcb.sig_handler, signum)) {
     pcb.in_signal = true;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kSignalDeliver, id_, pcb.pid.value,
+                      pcb.signal_channel.value, signum, 0);
+    }
   }
 }
 
@@ -635,6 +647,10 @@ void Kernel::DoNativeSyscall(Pcb& pcb, const SyscallRequest& req) {
       msg.body = req.data;
       env_.metrics().server_syncs++;
       env_.metrics().server_sync_bytes += req.data.size();
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kServerSyncSend, id_, pcb.pid.value, 0, 0,
+                        req.data.size());
+      }
       EnqueueOutgoing(std::move(msg), MaskOf(pcb.backup_cluster));
       CompleteAndReady(pcb, 0);
       break;

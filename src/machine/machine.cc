@@ -16,13 +16,22 @@ constexpr Gpid Machine::kPagePid;
 Machine::Machine(MachineOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
   const SystemConfig& cfg = options_.config;
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(options_.trace);
+    tracer_->set_clock([this] { return engine_.Now(); });
+    engine_.set_tracer(tracer_.get());
+    options_.file_server.tracer = tracer_.get();
+    options_.page_server.tracer = tracer_.get();
+  }
   bus_ = std::make_unique<InterclusterBus>(engine_, cfg.bus, cfg.num_clusters);
+  bus_->set_tracer(tracer_.get());
   fs_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.fs_cluster,
                                             options_.fs_backup);
   page_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.page_cluster,
                                               options_.page_backup);
   for (ClusterId c = 0; c < cfg.num_clusters; ++c) {
     kernels_.push_back(std::make_unique<Kernel>(*this, c));
+    kernels_.back()->set_tracer(tracer_.get());
   }
 }
 
@@ -253,6 +262,9 @@ void Machine::DiskRead(Gpid server, BlockNum block,
                        std::function<void(Result<Bytes>)> done) {
   auto it = server_disks_.find(server.value);
   AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kDiskRead, kNoCluster, server.value, 0, block, 0);
+  }
   it->second->Read(block, std::move(done));
 }
 
@@ -263,11 +275,14 @@ void Machine::DiskWrite(Gpid server, BlockNum block, Bytes data,
   if (server == kFsPid) {
     metrics_.fileserver_disk_bytes += data.size();
   }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kDiskWrite, kNoCluster, server.value, 0, block,
+                    data.size());
+  }
   it->second->Write(block, std::move(data), std::move(done));
 }
 
 void Machine::TtyEmit(Gpid server, const Bytes& data) {
-  (void)server;
   ByteReader r(data);
   TtyRecord rec;
   rec.line = r.U32();
@@ -275,6 +290,10 @@ void Machine::TtyEmit(Gpid server, const Bytes& data) {
   Bytes text = r.Blob();
   rec.text.assign(text.begin(), text.end());
   rec.at = engine_.Now();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kTtyEmit, kNoCluster, server.value, 0, rec.line,
+                    rec.seq);
+  }
   auto& per_line = tty_dedup_[rec.line];
   if (per_line.count(rec.seq) != 0) {
     ++tty_duplicates_;  // recovery re-emission (§7.9 window); content equal

@@ -19,6 +19,7 @@
 #include "src/servers/file_server.h"
 #include "src/servers/process_server.h"
 #include "src/servers/tty_server.h"
+#include "src/trace/trace.h"
 
 namespace auragen {
 
@@ -41,6 +42,11 @@ struct MachineOptions {
   PageServerOptions page_server;
   FileServerOptions file_server;
   TtyServerOptions tty_server;
+
+  // Event tracing (flight recorder). Disabled by default; when enabled the
+  // Machine owns a Tracer and wires it through the engine, bus, kernels, and
+  // servers. Write-only observability: enabling it never changes a run.
+  TraceOptions trace;
 };
 
 // One emitted terminal record (kTtyEmit payload plus arrival time).
@@ -122,6 +128,8 @@ class Machine : public MachineEnv {
   ServerAddr page_server_addr() const { return page_addr_; }
   MirroredDisk& fs_disk() { return *fs_disk_; }
   MirroredDisk& page_disk() { return *page_disk_; }
+  // Null unless MachineOptions::trace.enabled was set.
+  Tracer* tracer() { return tracer_.get(); }
   InterclusterBus& bus() override { return *bus_; }
   const SystemConfig& config() const override { return options_.config; }
   Rng& rng() { return rng_; }
@@ -152,6 +160,7 @@ class Machine : public MachineEnv {
   Engine engine_;
   Rng rng_;
   Metrics metrics_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InterclusterBus> bus_;
   std::unique_ptr<MirroredDisk> fs_disk_;
   std::unique_ptr<MirroredDisk> page_disk_;

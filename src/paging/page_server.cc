@@ -4,6 +4,7 @@
 
 #include "src/core/wire.h"
 #include "src/servers/protocol.h"
+#include "src/trace/trace.h"
 
 namespace auragen {
 
@@ -192,6 +193,10 @@ SyscallRequest PageServerProgram::Next(const SyscallResult& prev, bool first) {
         return AfterService();
       }
       InstallWrite(cur_pid_, cur_page_, cur_block_);
+      if (options_.tracer != nullptr) {
+        options_.tracer->Record(TraceEventKind::kPageStore, kNoCluster, cur_pid_.value, 0,
+                                cur_page_, cur_block_);
+      }
       ByteWriter ops(std::move(ops_log_));
       ops.U8(static_cast<uint8_t>(PsOp::kWrite));
       ops.U64(cur_pid_.value);
@@ -213,6 +218,10 @@ SyscallRequest PageServerProgram::Next(const SyscallResult& prev, bool first) {
         reply.content.resize(kAvmPageBytes, 0);
       } else {
         reply.known = false;  // double disk failure; zero-fill beats hanging
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->Record(TraceEventKind::kPageServe, kNoCluster, cur_pid_.value, 0,
+                                cur_page_, reply.known ? 1 : 0);
       }
       mode_ = Mode::kReplying;
       SyscallRequest req = NativeRequest(NativeSys::kWriteChan);

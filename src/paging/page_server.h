@@ -30,12 +30,16 @@
 
 namespace auragen {
 
+class Tracer;
+
 struct PageServerOptions {
   // Send a ServerSync after this many serviced state-changing requests.
   uint32_t sync_every_ops = 64;
   // First usable disk block (blocks below are reserved).
   BlockNum first_block = 8;
   BlockNum num_blocks = 16384;
+  // Write-only flight recorder; null disables server-side trace events.
+  Tracer* tracer = nullptr;
 };
 
 class PageServerProgram : public NativeProgram {

@@ -6,6 +6,7 @@
 #include "src/base/check.h"
 #include "src/core/wire.h"
 #include "src/disk/disk.h"
+#include "src/trace/trace.h"
 
 namespace auragen {
 
@@ -633,6 +634,10 @@ SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
       // complete" — it just was).
       epoch_ += 1;
       commits_++;
+      if (options_.tracer != nullptr) {
+        options_.tracer->Record(TraceEventKind::kFsCommit, my_cluster_, my_pid_.value, 0,
+                                epoch_, commits_);
+      }
       for (BlockNum b : meta_blocks_) {
         free_list_.push_back(b);
       }

@@ -38,9 +38,13 @@
 
 namespace auragen {
 
+class Tracer;
+
 struct FileServerOptions {
   uint32_t sync_every_ops = 16;
   BlockNum num_blocks = 16384;
+  // Write-only flight recorder; null disables server-side trace events.
+  Tracer* tracer = nullptr;
 };
 
 class FileServerProgram : public NativeProgram {

@@ -46,6 +46,9 @@ bool Engine::Step(SimTime until) {
     }
     now_ = ev.when;
     ++dispatched_;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kEngineDispatch, kNoCluster, 0, 0, ev.id, 0);
+    }
     ev.fn();
     return true;
   }

@@ -17,6 +17,7 @@
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 
 namespace auragen {
 
@@ -60,6 +61,11 @@ class Engine {
   // left intact; Run() can be called again.
   void Stop() { stop_requested_ = true; }
 
+  // Write-only observability: when set, every dispatched event is recorded
+  // as kEngineDispatch (masked out of the default trace configuration
+  // because of its volume). Never read back by the simulation.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Event {
     SimTime when;
@@ -80,6 +86,7 @@ class Engine {
   uint64_t dispatched_ = 0;
   uint64_t live_events_ = 0;
   bool stop_requested_ = false;
+  Tracer* tracer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<EventId> cancelled_;  // sorted lazily; small in practice
 };

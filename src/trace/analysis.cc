@@ -1,0 +1,101 @@
+#include "src/trace/analysis.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace auragen {
+
+void LatencyHistogram::Add(SimTime us) {
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && (SimTime{1} << (bucket + 1)) <= us) ++bucket;
+  if (us == 0) bucket = 0;
+  ++buckets_[bucket];
+  ++count_;
+  total_us_ += us;
+  if (us < min_us_) min_us_ = us;
+  if (us > max_us_) max_us_ = us;
+}
+
+std::string LatencyHistogram::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "count=%" PRIu64 " mean=%.1fus min=%" PRIu64 "us max=%" PRIu64 "us",
+                count_, mean_us(), min_us(), max_us());
+  std::string out(buf);
+  if (count_ == 0) return out;
+  out += " |";
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " [%" PRIu64 ",%" PRIu64 "):%" PRIu64,
+                  i == 0 ? SimTime{0} : (SimTime{1} << i), SimTime{1} << (i + 1),
+                  buckets_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string TraceAnalysis::ToString() const {
+  std::string out;
+  out += "delivery latency    : " + delivery_latency.ToString() + "\n";
+  out += "sync stall          : " + sync_stall.ToString() + "\n";
+  out += "crash->dispatch     : " + crash_to_dispatch.ToString() + "\n";
+  out += "crash->recovered    : " + crash_to_recovered.ToString() + "\n";
+  out += "rollforward replayed: " + rollforward_replayed.ToString() + "\n";
+  return out;
+}
+
+TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events) {
+  TraceAnalysis out;
+  std::unordered_map<uint64_t, SimTime> tx_ts;     // frame id -> tx time
+  std::unordered_map<uint64_t, SimTime> detect_ts; // dead cluster -> detect
+  bool crash_outstanding = false;
+  SimTime first_detect = 0;
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kBusTx:
+        tx_ts[e.a] = e.ts;
+        break;
+      case TraceEventKind::kBusRx: {
+        auto it = tx_ts.find(e.a);
+        if (it != tx_ts.end() && e.ts >= it->second) {
+          out.delivery_latency.Add(e.ts - it->second);
+        }
+        break;
+      }
+      case TraceEventKind::kSyncTrigger:
+        out.sync_stall.Add(e.b);
+        break;
+      case TraceEventKind::kCrashDetect:
+        // Several survivors detect the same death; keep the earliest.
+        if (detect_ts.find(e.a) == detect_ts.end()) detect_ts[e.a] = e.ts;
+        if (!crash_outstanding) {
+          crash_outstanding = true;
+          first_detect = e.ts;
+        }
+        break;
+      case TraceEventKind::kRecoveryDispatch:
+        if (crash_outstanding) {
+          out.crash_to_dispatch.Add(e.ts - first_detect);
+          crash_outstanding = false;
+        }
+        break;
+      case TraceEventKind::kCrashHandled: {
+        auto it = detect_ts.find(e.a);
+        if (it != detect_ts.end() && e.ts >= it->second) {
+          out.crash_to_recovered.Add(e.ts - it->second);
+        }
+        break;
+      }
+      case TraceEventKind::kTakeover:
+        out.rollforward_replayed.Add(e.b);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace auragen

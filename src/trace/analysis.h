@@ -1,0 +1,56 @@
+// Post-hoc latency analysis over a captured trace: per-event-class
+// histograms for the intervals the paper's design cares about — how long a
+// frame is in flight, how long a sync stalls its primary, and how long
+// recovery takes from crash detection to first dispatch / full completion.
+
+#ifndef AURAGEN_SRC_TRACE_ANALYSIS_H_
+#define AURAGEN_SRC_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace auragen {
+
+// Power-of-two bucketed histogram of microsecond intervals.
+class LatencyHistogram {
+ public:
+  void Add(SimTime us);
+
+  uint64_t count() const { return count_; }
+  SimTime total_us() const { return total_us_; }
+  SimTime min_us() const { return count_ == 0 ? 0 : min_us_; }
+  SimTime max_us() const { return max_us_; }
+  double mean_us() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_us_) / static_cast<double>(count_);
+  }
+
+  // "count=12 mean=34.5us min=3us max=96us | [4,8):2 [8,16):7 ..."
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 40;  // [2^i, 2^(i+1)) us; bucket 0 = [0,1)
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  SimTime total_us_ = 0;
+  SimTime min_us_ = kSimForever;
+  SimTime max_us_ = 0;
+};
+
+struct TraceAnalysis {
+  LatencyHistogram delivery_latency;     // bus tx -> rx, per (frame, receiver)
+  LatencyHistogram sync_stall;           // primary stall per sync (§5.2)
+  LatencyHistogram crash_to_dispatch;    // crash detect -> first dispatch
+  LatencyHistogram crash_to_recovered;   // crash detect -> handling complete
+  LatencyHistogram rollforward_replayed; // saved messages replayed per takeover
+
+  std::string ToString() const;
+};
+
+TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_TRACE_ANALYSIS_H_

@@ -1,0 +1,105 @@
+#include "src/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+namespace auragen {
+
+namespace {
+
+// Track id inside a cluster's process row. Kernel-level events (no gpid)
+// share tid 0; per-process events use the gpid counter.
+uint64_t TidFor(const TraceEvent& e) {
+  return e.gpid == 0 ? 0 : (e.gpid & 0xffffffffffffull);
+}
+
+int64_t PidFor(const TraceEvent& e) {
+  // kNoCluster (machine/device-level events) gets its own row below the
+  // per-cluster rows; the bus pair-matcher uses another.
+  if (e.cluster == kNoCluster) return 1000;
+  return static_cast<int64_t>(e.cluster);
+}
+
+constexpr int64_t kBusPid = 1001;
+
+void AppendEvent(std::string* out, const char* ph, const char* name,
+                 SimTime ts, SimTime dur, int64_t pid, uint64_t tid,
+                 const TraceEvent& e) {
+  char buf[384];
+  if (dur > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"auragen\",\"ph\":\"%s\","
+                  "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                  ",\"pid\":%" PRId64 ",\"tid\":%" PRIu64 ",",
+                  name, ph, ts, dur, pid, tid);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"auragen\",\"ph\":\"%s\",\"s\":\"t\","
+                  "\"ts\":%" PRIu64 ",\"pid\":%" PRId64 ",\"tid\":%" PRIu64 ",",
+                  name, ph, ts, pid, tid);
+  }
+  *out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"args\":{\"seq\":%" PRIu64 ",\"gpid\":\"%s\",\"channel\":\"%" PRIx64
+                "\",\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                e.seq, GpidStr(Gpid{e.gpid}).c_str(), e.channel, e.a, e.b);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  // Pair bus tx/rx legs by frame id so frames render as duration slices.
+  std::unordered_map<uint64_t, const TraceEvent*> tx_by_frame;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kBusTx) tx_by_frame[e.a] = &e;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+
+  for (const TraceEvent& e : events) {
+    const char* name = TraceEventKindName(e.kind);
+    if (e.kind == TraceEventKind::kBusRx) {
+      auto it = tx_by_frame.find(e.a);
+      if (it != tx_by_frame.end() && e.ts >= it->second->ts) {
+        comma();
+        AppendEvent(&out, "X", "frame", it->second->ts, e.ts - it->second->ts,
+                    kBusPid, e.cluster, e);
+        continue;
+      }
+    }
+    comma();
+    AppendEvent(&out, "i", name, e.ts, 0, PidFor(e), TidFor(e), e);
+  }
+
+  // Name the synthetic rows so the viewer is self-describing.
+  char meta[160];
+  std::snprintf(meta, sizeof(meta),
+                "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRId64
+                ",\"args\":{\"name\":\"intercluster bus\"}}",
+                first ? "" : ",", kBusPid);
+  out += meta;
+  std::snprintf(meta, sizeof(meta),
+                ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1000,"
+                "\"args\":{\"name\":\"machine devices\"}}");
+  out += meta;
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << ExportChromeTrace(events);
+  return f.good();
+}
+
+}  // namespace auragen

@@ -1,0 +1,26 @@
+// Chrome trace_event JSON export: load the output of ExportChromeTrace in
+// chrome://tracing or https://ui.perfetto.dev to see the machine's timeline.
+//
+// Mapping: pid = cluster (plus a synthetic "bus" track), tid = gpid counter.
+// Most events are instants ("ph":"i"); bus frames whose tx and rx legs are
+// both in the trace become complete slices ("ph":"X") with real duration,
+// which makes transit time visible at a glance.
+
+#ifndef AURAGEN_SRC_TRACE_CHROME_TRACE_H_
+#define AURAGEN_SRC_TRACE_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace auragen {
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_TRACE_CHROME_TRACE_H_

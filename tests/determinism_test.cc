@@ -3,6 +3,11 @@
 // bit-identical transcripts, metrics, and event counts, including through a
 // crash and recovery. Every other equivalence test in the suite rests on
 // this property.
+//
+// The check runs through the trace subsystem: each run records a full event
+// trace (engine dispatches included) whose FNV digest must match across
+// identical-seed runs, and FindFirstDivergence pinpoints the first
+// disagreeing event when it does not.
 
 #include <gtest/gtest.h>
 
@@ -21,12 +26,14 @@ struct Observed {
   uint64_t suppressed = 0;
   SimTime end_time = 0;
   uint64_t events = 0;
+  TraceDigest digest;
+  std::vector<TraceEvent> trace;
 
   friend bool operator==(const Observed& a, const Observed& b) {
     return a.tty == b.tty && a.messages_sent == b.messages_sent &&
            a.deliveries == b.deliveries && a.syncs == b.syncs &&
            a.takeovers == b.takeovers && a.suppressed == b.suppressed &&
-           a.end_time == b.end_time && a.events == b.events;
+           a.end_time == b.end_time && a.events == b.events && a.digest == b.digest;
   }
 };
 
@@ -34,6 +41,11 @@ Observed RunOnce(uint64_t seed, bool crash) {
   MachineOptions options;
   options.config.num_clusters = 3;
   options.seed = seed;
+  // Capture everything, engine dispatch firehose included: the digest then
+  // covers the complete event-by-event behaviour of the run.
+  options.trace.enabled = true;
+  options.trace.unbounded = true;
+  options.trace.kind_mask = ~uint64_t{0};
   Machine machine(options);
   machine.Boot();
 
@@ -123,20 +135,31 @@ out: .byte 0
   o.suppressed = machine.metrics().sends_suppressed;
   o.end_time = machine.engine().Now();
   o.events = machine.engine().dispatched();
+  o.digest = machine.tracer()->digest();
+  o.trace = machine.tracer()->Events();
   return o;
+}
+
+// On mismatch, fail with the first divergent event rather than a bare hash.
+void ExpectSameTrace(const Observed& first, const Observed& second) {
+  DivergenceReport report = FindFirstDivergence(first.trace, second.trace);
+  EXPECT_FALSE(report.diverged) << report.ToString();
+  EXPECT_EQ(first.digest.ToString(), second.digest.ToString());
+  EXPECT_TRUE(first == second);
 }
 
 TEST(Determinism, IdenticalRunsAreBitIdentical) {
   Observed first = RunOnce(1, false);
   Observed second = RunOnce(1, false);
-  EXPECT_TRUE(first == second);
+  ExpectSameTrace(first, second);
   EXPECT_FALSE(first.tty.empty());
+  EXPECT_GT(first.digest.count, 0u);
 }
 
 TEST(Determinism, HoldsThroughCrashAndRecovery) {
   Observed first = RunOnce(1, true);
   Observed second = RunOnce(1, true);
-  EXPECT_TRUE(first == second);
+  ExpectSameTrace(first, second);
   EXPECT_GE(first.takeovers, 1u);
 }
 
@@ -146,6 +169,42 @@ TEST(Determinism, CrashedRunMatchesCleanRunExternally) {
   // Internal traces differ (takeovers, replay), external output must not.
   EXPECT_EQ(clean.tty, crashed.tty);
   EXPECT_NE(clean.events, crashed.events);
+  EXPECT_NE(clean.digest, crashed.digest);
+}
+
+TEST(Determinism, DivergentRunsAreFlaggedWithContext) {
+  // Clean vs crashed run: genuinely different executions. The digests must
+  // disagree and the checker must localize the disagreement with context.
+  Observed clean = RunOnce(1, false);
+  Observed crashed = RunOnce(1, true);
+  EXPECT_NE(clean.digest, crashed.digest);
+  DivergenceReport report = FindFirstDivergence(clean.trace, crashed.trace);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_NE(report.description.find("diverge"), std::string::npos);
+}
+
+// Negative test for the checker itself: perturb one event of an otherwise
+// identical run and the report must name exactly that event.
+TEST(Determinism, DivergenceReportPinpointsFirstDifference) {
+  Observed first = RunOnce(1, true);
+  Observed second = RunOnce(1, true);
+  ASSERT_FALSE(FindFirstDivergence(first.trace, second.trace).diverged);
+
+  ASSERT_GT(second.trace.size(), 100u);
+  const uint64_t k = second.trace.size() / 2;
+  second.trace[k].a ^= 1;  // simulate a mid-run divergence
+  DivergenceReport report = FindFirstDivergence(first.trace, second.trace);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.index, second.trace[k].seq);
+  // Context: the report renders both sides of the divergent event.
+  EXPECT_NE(report.description.find(FormatTraceEvent(second.trace[k])), std::string::npos);
+  EXPECT_NE(report.description.find(FormatTraceEvent(first.trace[k])), std::string::npos);
+
+  // A truncated run is also a divergence, attributed to the first missing seq.
+  std::vector<TraceEvent> shorter(first.trace.begin(), first.trace.end() - 1);
+  DivergenceReport trunc = FindFirstDivergence(first.trace, shorter);
+  EXPECT_TRUE(trunc.diverged);
+  EXPECT_EQ(trunc.index, first.trace.back().seq);
 }
 
 }  // namespace

@@ -438,5 +438,95 @@ start:
   EXPECT_EQ(machine.ExitStatus(p1), 1);
 }
 
+TEST(Features, DeliveryLatencyAggregatesAccrue) {
+  Machine machine(TwoClusters());
+  machine.Boot();
+  // Cross-cluster writer/reader: every delivered message contributes one
+  // bus-accept -> executive-arrival latency sample.
+  Executable writer = MustAssemble(R"(
+start:
+    li r1, name
+    li r2, 5
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r12, 8
+    blt r8, r12, loop
+    exit 0
+.data
+name: .ascii "ch:dl"
+buf: .word 7
+)");
+  Executable reader = MustAssemble(R"(
+start:
+    li r1, name
+    li r2, 5
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    addi r8, r8, 1
+    li r12, 8
+    blt r8, r12, loop
+    exit 0
+.data
+name: .ascii "ch:dl"
+buf: .word 0
+)");
+  machine.SpawnUserProgram(0, writer);
+  machine.SpawnUserProgram(1, reader);
+  ASSERT_TRUE(machine.RunUntilAllExited(30'000'000));
+  machine.Settle();
+  const Metrics& m = machine.metrics();
+  EXPECT_GE(m.delivery_latency_samples, 8u);
+  EXPECT_GT(m.delivery_latency_us_total, 0u);
+  // Each sample crossed the bus, so the mean is at least one transit.
+  EXPECT_GE(m.delivery_latency_us_total / m.delivery_latency_samples, 1u);
+  // No crash: no rollforward time accrued.
+  EXPECT_EQ(m.rollforward_replay_us, 0u);
+}
+
+TEST(Features, RollforwardReplayTimeAccruesOnCrash) {
+  Machine machine(TwoClusters());
+  machine.Boot();
+  Executable prog = MustAssemble(R"(
+start:
+    li r8, 0
+rounds:
+    li r9, 0
+spin:
+    addi r9, r9, 1
+    li r10, 4000
+    blt r9, r10, spin
+    addi r8, r8, 1
+    li r10, 8
+    blt r8, r10, rounds
+    exit 3
+)");
+  Machine::UserSpawnOptions opts;
+  opts.backup_cluster = 0;
+  Gpid pid = machine.SpawnUserProgram(1, prog, opts);
+  machine.Run(50'000);
+  ASSERT_EQ(machine.metrics().rollforward_replay_us, 0u);
+  machine.CrashCluster(1);
+  ASSERT_TRUE(machine.RunUntilAllExited(60'000'000));
+  machine.Settle();
+  EXPECT_EQ(machine.ExitStatus(pid), 3);
+  const Metrics& m = machine.metrics();
+  EXPECT_GE(m.takeovers, 1u);
+  // Crash handling (backup promotion + server work) takes measurable time.
+  EXPECT_GT(m.rollforward_replay_us, 0u);
+}
+
 }  // namespace
 }  // namespace auragen
