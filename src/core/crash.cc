@@ -15,6 +15,31 @@
 
 namespace auragen {
 
+ClusterMask Kernel::LiveBroadcastMask() const {
+  ClusterMask mask = 0;
+  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+    if (c == id_ || peer_alive_[c]) {
+      mask |= MaskOf(c);
+    }
+  }
+  return mask;
+}
+
+void Kernel::BroadcastBackupLocation(Gpid pid, ClusterId cluster) {
+  // kBackupReady: peers update their triple-send address for `pid`, unfreeze
+  // its channels, and release held messages. kNoCluster announces "no backup
+  // anymore" — peers unfreeze without a save destination.
+  Msg ready;
+  ready.header.kind = MsgKind::kBackupReady;
+  ready.header.src_pid = kernel_pid_;
+  ready.header.dst_pid = pid;
+  ByteWriter w;
+  w.U64(pid.value);
+  w.U32(cluster);
+  ready.body = w.Take();
+  EnqueueOutgoing(std::move(ready), LiveBroadcastMask());
+}
+
 void Kernel::BroadcastCrashNotice(ClusterId dead) {
   Msg msg;
   msg.header.kind = MsgKind::kCrashNotice;
@@ -22,15 +47,13 @@ void Kernel::BroadcastCrashNotice(ClusterId dead) {
   ByteWriter w;
   w.U32(dead);
   msg.body = w.Take();
-  ClusterMask all = 0;
-  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
-    all |= MaskOf(c);
-  }
   // Like heartbeats, the notice bypasses the outgoing queue: it must get out
   // even while a previous crash has transmission disabled, and its position
   // in the global bus order is the synchronization point every cluster
-  // starts crash handling from (§7.10.1).
-  env_.bus().Transmit(id_, all, msg.Encode());
+  // starts crash handling from (§7.10.1). The freshly dead cluster is still
+  // in the mask (peer_alive_ flips in HandleCrashNotice); clusters from
+  // *earlier* handled crashes are not.
+  env_.bus().Transmit(id_, LiveBroadcastMask(), msg.Encode());
 }
 
 void Kernel::HandleCrashNotice(ClusterId dead) {
@@ -55,6 +78,7 @@ void Kernel::HandleCrashNotice(ClusterId dead) {
   // charged against the work processors (the crash processes are "special
   // high priority user processes", §8.4).
   transmit_enabled_ = false;
+  ++pending_crash_handlers_;
   SimTime scan_cost = env_.config().crash_scan_per_entry_us *
                       std::max<size_t>(1, routing_.size()) /
                       std::max<uint32_t>(1, env_.config().work_processors_per_cluster);
@@ -83,6 +107,16 @@ void Kernel::PatchEntryAfterCrash(RoutingEntry& entry, ClusterId dead) {
     }
   } else if (entry.peer_backup_cluster == dead) {
     entry.peer_backup_cluster = kNoCluster;
+    if (static_cast<BackupMode>(entry.peer_mode) == BackupMode::kFullback &&
+        !entry.closed_by_peer) {
+      // The fullback peer's *backup* died while its primary lives on. Its
+      // kernel will rebuild protection and broadcast kBackupReady (or give
+      // up with kNoCluster). Until then nothing may reach the primary
+      // unsaved: a message it read before the replacement existed would be
+      // missing from the replacement's saved queue, and the next sync's
+      // trim would underflow.
+      entry.unusable = true;
+    }
   }
   if (entry.own_backup_cluster == dead) {
     entry.own_backup_cluster = kNoCluster;
@@ -116,6 +150,12 @@ void Kernel::RunCrashHandling(ClusterId dead) {
     }
     if (h.src_backup_cluster == dead) {
       h.src_backup_cluster = kNoCluster;
+    }
+    if (item.targets == 0) {
+      // Nothing left to address: a held item would otherwise wait forever
+      // for a kBackupReady that can no longer matter. Release it so the
+      // pump drains (and drops) it.
+      item.held_for = Gpid{};
     }
   }
 
@@ -152,7 +192,55 @@ void Kernel::RunCrashHandling(ClusterId dead) {
   }
   ReissuePageRequests();
 
-  transmit_enabled_ = true;
+  // Live primaries whose *backup* cluster died are now unprotected: stop
+  // syncing into the void, and — for fullbacks — re-establish protection.
+  // Quarterback and halfback processes stay unprotected by contract (§7.3:
+  // their modes do not re-back after a failure).
+  for (auto& [pid, pcb] : procs_) {
+    if (pcb->backup_cluster != dead || pcb->server_backup) {
+      continue;
+    }
+    pcb->backup_cluster = kNoCluster;
+    pcb->backup_exists = false;
+    if (pcb->mode == BackupMode::kFullback && !pcb->peripheral &&
+        pcb->state != ProcState::kExited &&
+        env_.config().strategy == FtStrategy::kMessageSystem) {
+      pcb->needs_rebackup = true;
+      // Peers freeze these channels when their own crash handling runs, but
+      // detections are staggered by up to a heartbeat period. Capture the
+      // replacement image only after every live peer has certainly frozen
+      // and its pre-freeze traffic has drained; anything read before the
+      // capture is then part of the image, and everything after is either
+      // held at the sender or triple-sent to the announced replacement.
+      pcb->rebackup_not_before =
+          env_.engine().Now() + env_.config().heartbeat_period_us + 1000;
+      Gpid rebuild_pid = pid;
+      env_.engine().ScheduleAt(pcb->rebackup_not_before, [this, rebuild_pid] {
+        if (!alive_) {
+          return;
+        }
+        Pcb* p = FindProcess(rebuild_pid);
+        if (p == nullptr) {
+          // Exited and reaped while peers were frozen: unfreeze them.
+          BroadcastBackupLocation(rebuild_pid, kNoCluster);
+          return;
+        }
+        if (p->needs_rebackup) {
+          RebuildLostBackup(*p);
+        }
+      });
+    }
+  }
+
+  AURAGEN_CHECK(pending_crash_handlers_ > 0) << "crash handler drained twice";
+  --pending_crash_handlers_;
+  if (pending_crash_handlers_ == 0) {
+    // §7.10.1: only when *every* pending crash has been handled may regular
+    // transmission resume — an earlier crash's completion must not release
+    // messages addressed with routing state that still names a later dead
+    // cluster.
+    transmit_enabled_ = true;
+  }
   env_.metrics().crashes_handled++;
   env_.metrics().last_recovery_complete_at = env_.engine().Now();
   SimTime handling_us = env_.engine().Now() - crash_detect_at_[dead];
@@ -162,6 +250,48 @@ void Kernel::RunCrashHandling(ClusterId dead) {
   }
   PumpTransmit();
   TryDispatch();
+}
+
+void Kernel::RebuildLostBackup(Pcb& pcb) {
+  if (!pcb.needs_rebackup) {
+    return;
+  }
+  if (env_.config().strategy != FtStrategy::kMessageSystem ||
+      pcb.mode != BackupMode::kFullback || pcb.peripheral || pcb.server_backup ||
+      pcb.state == ProcState::kExited) {
+    // Permanently not rebuildable: release the peers that froze for us.
+    pcb.needs_rebackup = false;
+    BroadcastBackupLocation(pcb.pid, kNoCluster);
+    return;
+  }
+  if (env_.engine().Now() < pcb.rebackup_not_before) {
+    return;  // peers may not all have frozen yet; the scheduled retry comes
+  }
+  if (pcb.dispatched) {
+    return;  // mid-slice; FinishRun -> MaybeTriggerSync retries
+  }
+  ClusterId nb = env_.PlaceNewBackup(id_, kNoCluster);
+  if (nb == kNoCluster) {
+    pcb.needs_rebackup = false;  // nowhere left to back up; run unprotected
+    BroadcastBackupLocation(pcb.pid, kNoCluster);
+    return;
+  }
+  pcb.backup_cluster = nb;
+  if (!CanSyncNow(pcb)) {
+    pcb.backup_cluster = kNoCluster;
+    return;  // flag stays set; retried from MaybeTriggerSync
+  }
+  pcb.needs_rebackup = false;
+  for (RoutingEntry* e : routing_.EntriesOf(pcb.pid, /*backup=*/false)) {
+    e->own_backup_cluster = nb;
+  }
+  // Order matters: the sync ships dirty pages and stages the page server's
+  // backup account (§7.8 atomicity), so the context the create carries and
+  // the page account a future rollforward reads agree. Both captures see the
+  // same quiescent state, so the create's context matches the sync's.
+  ForceSync(pcb, /*signal_forced=*/false);
+  CreateReplacementBackup(pcb, CaptureKernelContext(pcb));
+  pcb.backup_exists = true;
 }
 
 void Kernel::TakeOver(BackupPcb b) {
@@ -390,21 +520,7 @@ void Kernel::CreateReplacementBackup(Pcb& pcb, const Bytes& sync_context) {
 
   // §7.10.1: once the new backup's location is known, peers unfreeze their
   // channels. Bus FIFO guarantees the create lands before the ready.
-  Msg ready;
-  ready.header.kind = MsgKind::kBackupReady;
-  ready.header.src_pid = kernel_pid_;
-  ready.header.dst_pid = pcb.pid;
-  ByteWriter w;
-  w.U64(pcb.pid.value);
-  w.U32(pcb.backup_cluster);
-  ready.body = w.Take();
-  ClusterMask all = 0;
-  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
-    if (peer_alive_[c] || c == id_) {
-      all |= MaskOf(c);
-    }
-  }
-  EnqueueOutgoing(std::move(ready), all);
+  BroadcastBackupLocation(pcb.pid, pcb.backup_cluster);
 }
 
 void Kernel::HandleBackupCreate(const BackupCreateBody& body, ClusterId from) {
@@ -492,19 +608,50 @@ void Kernel::HandleBackupCreate(const BackupCreateBody& body, ClusterId from) {
   }
 }
 
-void Kernel::HandleBackupReady(Gpid pid, ClusterId new_backup) {
+void Kernel::HandleBackupReady(Gpid pid, ClusterId new_backup, ClusterId primary_home) {
+  // The announced cluster can itself be dead by the time the notice is
+  // consumed (the creator queued it before learning of the crash). Treating
+  // it as "no backup" keeps us from triple-sending into a void the creator
+  // will re-announce from its own crash handling anyway.
+  if (new_backup != kNoCluster &&
+      (new_backup >= peer_alive_.size() ||
+       (new_backup != id_ && !peer_alive_[new_backup]))) {
+    new_backup = kNoCluster;
+  }
+  auto dead_here = [&](ClusterId c) {
+    return c != kNoCluster && c != id_ &&
+           (c >= peer_alive_.size() || !peer_alive_[c]);
+  };
   routing_.ForEach([&](RoutingEntry& entry) {
     if (entry.peer_pid == pid) {
       entry.peer_backup_cluster = new_backup;
       entry.unusable = false;
+      // The ready always originates from the primary's current kernel.
+      // Detections are staggered, so a takeover's announcement can overtake
+      // this kernel's own crash handling; without the repair the pending
+      // PatchEntryAfterCrash pass would promote the freshly announced
+      // *backup* into the primary slot and the primary leg would be lost.
+      if (dead_here(entry.peer_primary_cluster)) {
+        entry.peer_primary_cluster = primary_home;
+      }
     }
   });
   bool released = false;
   for (OutgoingItem& item : outgoing_) {
     if (item.held_for == pid) {
       item.held_for = Gpid{};
-      item.msg.header.dst_backup_cluster = new_backup;
-      item.targets |= MaskOf(new_backup);
+      MsgHeader& h = item.msg.header;
+      h.dst_backup_cluster = new_backup;
+      if (new_backup != kNoCluster) {
+        item.targets |= MaskOf(new_backup);
+      }
+      if (dead_here(h.dst_primary_cluster)) {
+        // Same overtaking race for a held item: redirect its primary leg to
+        // the announcing kernel before the transmit pump purges the dead bit.
+        item.targets &= ~MaskOf(h.dst_primary_cluster);
+        h.dst_primary_cluster = primary_home;
+        item.targets |= MaskOf(primary_home);
+      }
       released = true;
     }
   }
@@ -521,6 +668,9 @@ void Kernel::FailProcess(Gpid pid) {
     return;
   }
   ALOG_INFO() << "c" << id_ << ": process fault kills " << GpidStr(pid);
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kProcFail, id_, pid.value, 0, 0, 0);
+  }
   // The process vanishes as a hardware fault would take it: no exit notice,
   // no channel closes — peers and the backup learn via the crash notice.
   routing_.RemoveAllOf(pid, /*backup=*/false);
@@ -536,11 +686,7 @@ void Kernel::FailProcess(Gpid pid) {
   w.U64(pid.value);
   w.U32(id_);
   notice.body = w.Take();
-  ClusterMask all = 0;
-  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
-    all |= MaskOf(c);
-  }
-  EnqueueOutgoing(std::move(notice), all);
+  EnqueueOutgoing(std::move(notice), LiveBroadcastMask());
 }
 
 void Kernel::HandleProcCrash(Gpid pid, ClusterId at) {
@@ -574,6 +720,7 @@ void Kernel::HandleProcCrash(Gpid pid, ClusterId at) {
       item.targets |= MaskOf(h.dst_primary_cluster);
     } else {
       item.targets = 0;
+      item.held_for = Gpid{};  // nothing left to wait for; drop at transmit
     }
   }
   auto bit = backups_.find(pid);
@@ -645,20 +792,10 @@ void Kernel::RecreateServerBackup(Gpid pid, ClusterId target) {
   }
   EnqueueOutgoing(std::move(create), MaskOf(target));
 
-  // Peers resume triple-sending to the new backup location.
-  Msg ready;
-  ready.header.kind = MsgKind::kBackupReady;
-  ready.header.src_pid = kernel_pid_;
-  ready.header.dst_pid = pid;
-  ByteWriter w;
-  w.U64(pid.value);
-  w.U32(target);
-  ready.body = w.Take();
-  ClusterMask all = 0;
-  for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
-    all |= MaskOf(c);
-  }
-  EnqueueOutgoing(std::move(ready), all);
+  // Peers resume triple-sending to the new backup location. Only self and
+  // live peers are addressed; a cluster that died since this server's last
+  // crash handling must not be.
+  BroadcastBackupLocation(pid, target);
 }
 
 void Kernel::HandleServerSync(const Msg& msg) {

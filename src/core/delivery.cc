@@ -80,16 +80,22 @@ void Kernel::PumpTransmit() {
     if (!transmit_enabled_) {
       return;
     }
-    for (auto it = outgoing_.begin(); it != outgoing_.end(); ++it) {
+    for (auto it = outgoing_.begin(); it != outgoing_.end();) {
       if (it->held_for.valid()) {
+        ++it;
+        continue;
+      }
+      if (it->targets == 0) {
+        // Crash handling stripped every destination (the peer died
+        // unprotected): nothing to transmit, and paying a send slot per
+        // dead item would stall live traffic behind a long casualty list.
+        it = outgoing_.erase(it);
         continue;
       }
       Msg msg = std::move(it->msg);
       ClusterMask targets = it->targets;
       outgoing_.erase(it);
-      if (targets != 0) {
-        env_.bus().Transmit(id_, targets, msg.Encode());
-      }
+      env_.bus().Transmit(id_, targets, msg.Encode());
       break;
     }
     PumpTransmit();
@@ -150,7 +156,22 @@ void Kernel::DeliverLocal(const Msg& msg) {
   // plays; co-resident roles are all served from the single transmission.
   if (h.dst_primary_cluster == id_) {
     RoutingEntry* entry = routing_.Find(h.channel, h.dst_pid, /*backup=*/false);
-    if (entry != nullptr) {
+    if (entry == nullptr && h.dst_backup_cluster != id_) {
+      // Detection stagger: a peer that already ran its crash handling
+      // addresses this cluster as the destination's new primary before our
+      // own handling has flipped the passive/parked backup entries. Park the
+      // message in the saved queue — the takeover flip replays it.
+      RoutingEntry* saved = routing_.Find(h.channel, h.dst_pid, /*backup=*/true);
+      if (saved != nullptr && h.kind != MsgKind::kClose) {
+        EnqueueAtEntry(*saved, msg);
+        env_.metrics().deliveries_backup++;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kDeliverBackup, id_, h.dst_pid.value,
+                          h.channel.value, static_cast<uint64_t>(h.kind),
+                          msg.body.size());
+        }
+      }
+    } else if (entry != nullptr) {
       if (h.kind == MsgKind::kClose) {
         entry->closed_by_peer = true;
       } else {
@@ -186,7 +207,29 @@ void Kernel::DeliverLocal(const Msg& msg) {
 
   if (h.dst_backup_cluster == id_) {
     RoutingEntry* entry = routing_.Find(h.channel, h.dst_pid, /*backup=*/true);
-    if (entry != nullptr) {
+    if (entry == nullptr && h.dst_primary_cluster != id_) {
+      // Takeover stagger, reverse direction: the save leg of a message sent
+      // with pre-takeover routing arrives after this cluster's backup entry
+      // flipped to primary. Both legs ride one bus transmission, so a read
+      // by the old primary implies the save landed here first — a late save
+      // leg therefore carries a message the destination never saw. Deliver
+      // it to the flipped primary entry instead of dropping it.
+      RoutingEntry* flipped = routing_.Find(h.channel, h.dst_pid, /*backup=*/false);
+      if (flipped != nullptr) {
+        if (h.kind == MsgKind::kClose) {
+          flipped->closed_by_peer = true;
+        } else {
+          EnqueueAtEntry(*flipped, msg);
+          env_.metrics().deliveries_primary++;
+          if (tracer_ != nullptr) {
+            tracer_->Record(TraceEventKind::kDeliverPrimary, id_, h.dst_pid.value,
+                            h.channel.value, static_cast<uint64_t>(h.kind),
+                            msg.body.size());
+          }
+        }
+        WakeReaders(*flipped);
+      }
+    } else if (entry != nullptr) {
       if (h.kind == MsgKind::kClose) {
         entry->closed_by_peer = true;
       } else {
@@ -298,7 +341,7 @@ void Kernel::HandleControl(const Msg& msg) {
       Gpid pid;
       pid.value = r.U64();
       ClusterId nb = r.U32();
-      HandleBackupReady(pid, nb);
+      HandleBackupReady(pid, nb, msg.header.src_pid.origin_cluster());
       break;
     }
     case MsgKind::kServerSync:

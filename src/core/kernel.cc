@@ -298,6 +298,7 @@ void Kernel::Restart() {
   exec_busy_ = false;
   transmit_enabled_ = true;
   transmit_pumping_ = false;
+  pending_crash_handlers_ = 0;
   idle_workers_ = env_.config().work_processors_per_cluster;
   next_arrival_seq_ = 1;
   page_waiters_.clear();

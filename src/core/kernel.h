@@ -198,6 +198,12 @@ class Kernel : public BusEndpoint {
   // Checkpoint baselines (§2) replace ForceSync when configured.
   void ForceCheckpoint(Pcb& pcb);
   void ApplyCheckpointAtBackup(const Msg& msg);
+  // Serialized KernelContext of `pcb` at a quiescent point (sync, checkpoint
+  // and replacement-backup creation all ship exactly this).
+  Bytes CaptureKernelContext(Pcb& pcb);
+  // Closed-channel record seen by a backup (sync or checkpoint): drop the
+  // saved entry and the fd binding, guarding fd == kBadFd.
+  void DropClosedBackupChannel(BackupPcb& b, ChannelId channel, Gpid pid, Fd fd);
 
   // ---- paging (sync.cc) ----
   void HandlePageFault(Pcb& pcb, PageNum page);
@@ -239,8 +245,18 @@ class Kernel : public BusEndpoint {
   void TakeOver(BackupPcb backup);
   void TakeOverParkedServer(Pcb& pcb);
   void CreateReplacementBackup(Pcb& pcb, const Bytes& sync_context);
+  // A live primary whose backup cluster died: place, sync, and announce a
+  // fresh backup (deferred via Pcb::needs_rebackup when the process is not
+  // at a sync-safe point).
+  void RebuildLostBackup(Pcb& pcb);
+  // kBackupReady broadcast: `pid`'s backup now lives at `cluster` (or
+  // nowhere, for kNoCluster — peers unfreeze without a save destination).
+  void BroadcastBackupLocation(Gpid pid, ClusterId cluster);
+  // Clusters a broadcast from this kernel should reach: self plus every
+  // peer not yet known dead (§7.10.1 — never address handled-dead clusters).
+  ClusterMask LiveBroadcastMask() const;
   void HandleBackupCreate(const BackupCreateBody& body, ClusterId from);
-  void HandleBackupReady(Gpid pid, ClusterId new_backup);
+  void HandleBackupReady(Gpid pid, ClusterId new_backup, ClusterId primary_home);
   void HandleServerSync(const Msg& msg);
   void HandleProcCrash(Gpid pid, ClusterId at);
 
@@ -266,6 +282,11 @@ class Kernel : public BusEndpoint {
   std::deque<OutgoingItem> outgoing_;
   bool transmit_enabled_ = true;
   bool transmit_pumping_ = false;
+  // Crash handlers scheduled but not yet run (§7.10.1). Transmission stays
+  // disabled until every pending handler has drained; re-enabling after the
+  // first of two overlapping crashes would let messages out with routing
+  // state that still names the second dead cluster.
+  uint32_t pending_crash_handlers_ = 0;
 
   // Arrival sequence numbers (§7.5.1: assigned on arrival at a cluster).
   uint64_t next_arrival_seq_ = 1;

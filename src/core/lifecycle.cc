@@ -392,6 +392,12 @@ void Kernel::SysExit(Pcb& pcb, int32_t status) {
 void Kernel::DestroyProcess(Pcb& pcb, int32_t status) {
   Gpid pid = pcb.pid;
   pcb.state = ProcState::kExited;
+  if (pcb.needs_rebackup) {
+    // Exiting before the lost backup could be rebuilt: peers froze this
+    // process's channels at crash handling and must not wait forever.
+    pcb.needs_rebackup = false;
+    BroadcastBackupLocation(pid, kNoCluster);
+  }
 
   // Close every open channel so peers see EOF (readers wake via kClose).
   for (RoutingEntry* e : routing_.EntriesOf(pid, /*backup=*/false)) {

@@ -69,6 +69,10 @@ struct Pcb {
   Gpid family_head;                 // §7.7: family backups share one cluster
   ClusterId backup_cluster = kNoCluster;  // kNoCluster: running unprotected
   bool backup_exists = false;       // backup PCB materialized (first sync or spawn)
+  bool needs_rebackup = false;      // backup cluster died; re-create at the
+                                    // next sync-safe point (crash.cc)
+  SimTime rebackup_not_before = 0;  // earliest instant every live peer has
+                                    // frozen this process's channels
   bool is_server = false;           // native server (system or peripheral)
   bool peripheral = false;          // explicit-sync FT, device syscalls allowed
   bool server_backup = false;       // active backup instance of a peripheral server

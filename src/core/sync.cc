@@ -61,6 +61,11 @@ void Kernel::MaybeTriggerSync(Pcb& pcb) {
     // the triggers at the proper quiescent point.
     return;
   }
+  if (pcb.needs_rebackup) {
+    // Backup cluster lost mid-slice or mid-reply: crash handling deferred
+    // the re-backup to this quiescent point.
+    RebuildLostBackup(pcb);
+  }
   const SystemConfig& cfg = env_.config();
   uint32_t reads_limit = pcb.sync_reads_limit != 0 ? pcb.sync_reads_limit : cfg.sync_reads_limit;
   SimTime time_limit = pcb.sync_time_limit_us != 0 ? pcb.sync_time_limit_us
@@ -149,17 +154,7 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
   record.family_head = pcb.family_head;
   record.sig_handler = pcb.sig_handler;
   record.exec_us = pcb.exec_us_total;
-
-  KernelContext kctx;
-  kctx.body_context = pcb.body->CaptureContext();
-  kctx.next_fd = pcb.next_fd;
-  kctx.next_group = pcb.next_group;
-  for (const auto& [gid, fds] : pcb.groups) {
-    kctx.groups.emplace_back(gid, fds);
-  }
-  kctx.fork_seq = pcb.fork_seq;
-  kctx.in_signal = pcb.in_signal;
-  record.context = kctx.Encode();
+  record.context = CaptureKernelContext(pcb);
 
   std::vector<ChannelId> closed;
   for (RoutingEntry* e : routing_.EntriesOf(pcb.pid, /*backup=*/false)) {
@@ -221,6 +216,32 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
   pcb.stall_until = env_.engine().Now() + stall;
 }
 
+Bytes Kernel::CaptureKernelContext(Pcb& pcb) {
+  KernelContext kctx;
+  kctx.body_context = pcb.body->CaptureContext();
+  kctx.next_fd = pcb.next_fd;
+  kctx.next_group = pcb.next_group;
+  for (const auto& [gid, fds] : pcb.groups) {
+    kctx.groups.emplace_back(gid, fds);
+  }
+  kctx.fork_seq = pcb.fork_seq;
+  kctx.in_signal = pcb.in_signal;
+  return kctx.Encode();
+}
+
+void Kernel::DropClosedBackupChannel(BackupPcb& b, ChannelId channel, Gpid pid, Fd fd) {
+  if (routing_.Find(channel, pid, /*backup=*/true) != nullptr) {
+    routing_.Remove(channel, pid, /*backup=*/true);
+  }
+  // fd == kBadFd marks a channel that never had (or already lost) a
+  // descriptor binding; erasing it would be a no-op today but is kept
+  // guarded so the two closed-channel paths (sync and checkpoint) cannot
+  // diverge again.
+  if (fd != kBadFd) {
+    b.fds.erase(fd);
+  }
+}
+
 void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
   auto [it, created] = backups_.try_emplace(record.pid);
   BackupPcb& b = it->second;
@@ -242,16 +263,11 @@ void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
   }
 
   for (const SyncChannelRecord& rec : record.channels) {
-    RoutingEntry* entry = routing_.Find(rec.channel, record.pid, /*backup=*/true);
     if (rec.closed_since_sync) {
-      if (entry != nullptr) {
-        routing_.Remove(rec.channel, record.pid, /*backup=*/true);
-      }
-      if (rec.fd != kBadFd) {
-        b.fds.erase(rec.fd);
-      }
+      DropClosedBackupChannel(b, rec.channel, record.pid, rec.fd);
       continue;
     }
+    RoutingEntry* entry = routing_.Find(rec.channel, record.pid, /*backup=*/true);
     if (entry == nullptr) {
       // The entry should have been created by a ChanCreate / open reply /
       // birth notice that, per bus FIFO, precedes this sync. Seeing none is
@@ -375,16 +391,7 @@ void Kernel::ForceCheckpoint(Pcb& pcb) {
   ByteWriter w;
   w.U64(pcb.pid.value);
   w.U8(full ? 1 : 0);
-  KernelContext kctx;
-  kctx.body_context = pcb.body->CaptureContext();
-  kctx.next_fd = pcb.next_fd;
-  kctx.next_group = pcb.next_group;
-  for (const auto& [gid, fds] : pcb.groups) {
-    kctx.groups.emplace_back(gid, fds);
-  }
-  kctx.fork_seq = pcb.fork_seq;
-  kctx.in_signal = pcb.in_signal;
-  w.Blob(kctx.Encode());
+  w.Blob(CaptureKernelContext(pcb));
 
   // Channel records (fd bindings + queue-trim counts), as in sync.
   std::vector<SyncChannelRecord> records;
@@ -477,14 +484,11 @@ void Kernel::ApplyCheckpointAtBackup(const Msg& msg) {
     Fd fd = r.I32();
     bool closed = r.U8() != 0;
     uint32_t reads = r.U32();
-    RoutingEntry* entry = routing_.Find(chan, pid, /*backup=*/true);
     if (closed) {
-      if (entry != nullptr) {
-        routing_.Remove(chan, pid, /*backup=*/true);
-      }
-      b.fds.erase(fd);
+      DropClosedBackupChannel(b, chan, pid, fd);
       continue;
     }
+    RoutingEntry* entry = routing_.Find(chan, pid, /*backup=*/true);
     if (entry == nullptr) {
       continue;
     }

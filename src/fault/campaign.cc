@@ -1,0 +1,300 @@
+#include "src/fault/campaign.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/avm/assembler.h"
+#include "src/base/rng.h"
+#include "src/machine/machine.h"
+
+namespace auragen {
+
+std::vector<ProcPlacement> CampaignWorkload::Placements() const {
+  std::vector<ProcPlacement> out;
+  for (const Pair& p : pairs) {
+    out.push_back(p.producer);
+    out.push_back(p.consumer);
+  }
+  return out;
+}
+
+CampaignWorkload MakeCampaignWorkload(uint64_t seed, uint32_t num_clusters) {
+  Rng rng(seed);
+  CampaignWorkload wl;
+  int n = static_cast<int>(rng.Range(2, 4));
+  for (int i = 0; i < n; ++i) {
+    CampaignWorkload::Pair pair;
+    auto place = [&](ProcPlacement& p) {
+      p.primary = static_cast<ClusterId>(rng.Below(num_clusters));
+      p.backup =
+          static_cast<ClusterId>((p.primary + 1 + rng.Below(num_clusters - 1)) % num_clusters);
+    };
+    place(pair.producer);
+    place(pair.consumer);
+    pair.items = static_cast<int>(rng.Range(5, 12));
+    pair.pace = static_cast<int>(rng.Range(800, 3200));
+    pair.tty_line = static_cast<uint32_t>(i);
+    wl.pairs.push_back(pair);
+  }
+  return wl;
+}
+
+FaultPlan MakeScenarioPlan(uint64_t seed, const CampaignOptions& options) {
+  CampaignWorkload wl = MakeCampaignWorkload(seed, options.num_clusters);
+  FaultPlanInputs inputs;
+  inputs.num_clusters = options.num_clusters;
+  inputs.procs = wl.Placements();
+  return MakeFaultPlan(seed, inputs);
+}
+
+namespace {
+
+// Same worker programs as the randomized crash sweep: a producer streams
+// numbered words over a named channel at a seeded pace; the consumer folds
+// each into a letter and prints it, so order, content, and count are all
+// observable on the terminal.
+Executable Producer(int index, int items, int pace) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, 6
+    sys open
+    mov r10, r0
+    li r8, 1
+loop:
+    li r9, 0
+pace:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(pace) + R"(
+    blt r9, r11, pace
+    li r11, buf
+    st r8, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r11, )" + std::to_string(items + 1) + R"(
+    blt r8, r11, loop
+    exit 0
+.data
+name: .ascii "ch:f)" + std::to_string(index) + R"("
+buf: .word 0
+)");
+}
+
+Executable Consumer(int index, int items) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, 6
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    li r11, buf
+    ld r2, r11, 0
+    li r3, 26
+    mod r2, r2, r3
+    li r3, 97
+    add r2, r2, r3
+    li r11, out
+    stb r2, r11, 0
+    li r1, 2
+    li r2, out
+    li r3, 1
+    sys write
+    addi r8, r8, 1
+    li r11, )" + std::to_string(items) + R"(
+    blt r8, r11, loop
+    exit 0
+.data
+name: .ascii "ch:f)" + std::to_string(index) + R"("
+buf: .word 0
+out: .byte 0
+)");
+}
+
+void FoldBytes(uint64_t& h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+}
+
+struct RunOutcome {
+  bool completed = false;
+  bool livelock = false;
+  bool converged = false;
+  uint64_t duplicates = 0;
+  bool tty_dups_ok = false;
+  uint64_t workload_digest = 0;
+  TraceDigest trace_digest;
+  std::map<uint64_t, int32_t> exit_statuses;
+  std::string tty_concat;  // per-line outputs joined with '|', for messages
+  uint64_t takeovers = 0;
+  uint64_t crashes_handled = 0;
+};
+
+RunOutcome RunWorkload(const CampaignWorkload& wl, uint64_t seed, BackupMode mode,
+                       const FaultPlan* plan, const CampaignOptions& opt) {
+  MachineOptions mo;
+  mo.config.num_clusters = opt.num_clusters;
+  mo.config.sync_reads_limit = 4;  // tight sync cadence: more recovery points
+  mo.seed = seed;
+  // Ring-mode flight recorder: whole-run digest for the determinism replay
+  // at bounded memory, and a tail of events if a scenario needs diagnosis.
+  mo.trace.enabled = true;
+  mo.trace.unbounded = false;
+  mo.trace.ring_capacity = 4096;
+  Machine machine(mo);
+  machine.engine().set_dispatch_limit(opt.dispatch_limit);
+  machine.Boot();
+
+  std::vector<Gpid> victims;
+  for (size_t i = 0; i < wl.pairs.size(); ++i) {
+    const CampaignWorkload::Pair& pair = wl.pairs[i];
+    Machine::UserSpawnOptions popts;
+    popts.mode = mode;
+    popts.backup_cluster = pair.producer.backup;
+    Machine::UserSpawnOptions copts;
+    copts.mode = mode;
+    copts.backup_cluster = pair.consumer.backup;
+    copts.with_tty = true;
+    copts.tty_line = pair.tty_line;
+    victims.push_back(machine.SpawnUserProgram(
+        pair.producer.primary, Producer(static_cast<int>(i), pair.items, pair.pace), popts));
+    victims.push_back(machine.SpawnUserProgram(pair.consumer.primary,
+                                               Consumer(static_cast<int>(i), pair.items),
+                                               copts));
+  }
+
+  InjectionLog log;
+  std::vector<ProcPlacement> placements;
+  if (plan != nullptr) {
+    placements = wl.Placements();
+    InjectFaultPlan(machine, *plan, victims, placements, &log);
+  }
+
+  RunOutcome out;
+  out.completed = machine.RunUntilAllExited(opt.run_cap_us);
+  machine.Settle();
+  out.livelock = machine.engine().dispatch_limit_hit();
+  out.duplicates = machine.TtyDuplicates();
+  out.tty_dups_ok = log.tty_primary_crashed;
+  out.exit_statuses = machine.exit_statuses();
+  out.takeovers = machine.metrics().takeovers;
+  out.crashes_handled = machine.metrics().crashes_handled;
+  out.trace_digest = machine.tracer()->digest();
+
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (size_t i = 0; i < wl.pairs.size(); ++i) {
+    std::string line = machine.TtyOutput(static_cast<uint32_t>(i));
+    FoldBytes(h, line.data(), line.size());
+    FoldBytes(h, "|", 1);
+    out.tty_concat += line;
+    out.tty_concat += '|';
+  }
+  for (const auto& [pid, status] : out.exit_statuses) {
+    FoldBytes(h, &pid, sizeof(pid));
+    FoldBytes(h, &status, sizeof(status));
+  }
+  out.workload_digest = h;
+
+  out.converged = true;
+  for (ClusterId c = 0; c < opt.num_clusters; ++c) {
+    if (machine.ClusterAlive(c) && !machine.kernel(c).Quiescent()) {
+      out.converged = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& opt) {
+  CampaignWorkload wl = MakeCampaignWorkload(seed, opt.num_clusters);
+  FaultPlan plan = MakeScenarioPlan(seed, opt);
+  BackupMode mode = plan.fullback ? BackupMode::kFullback : BackupMode::kQuarterback;
+
+  ScenarioResult result;
+  result.seed = seed;
+  result.scenario = plan.Describe();
+
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    if (!result.failure.empty()) {
+      result.failure += "; ";
+    }
+    result.failure += why;
+  };
+
+  RunOutcome ref = RunWorkload(wl, seed, mode, nullptr, opt);
+  if (!ref.completed) {
+    fail(ref.livelock ? "reference run hit the dispatch limit" : "reference run stalled");
+    return result;
+  }
+  if (ref.duplicates != 0) {
+    fail("reference run produced duplicate tty records");
+    return result;
+  }
+
+  RunOutcome got = RunWorkload(wl, seed, mode, &plan, opt);
+  result.takeovers = got.takeovers;
+  result.crashes_handled = got.crashes_handled;
+  result.tty_duplicates = got.duplicates;
+  if (got.livelock) {
+    fail("livelock: dispatch limit hit");
+  } else if (!got.completed) {
+    fail("stalled: a workload process never exited");
+  } else {
+    if (got.exit_statuses != ref.exit_statuses) {
+      fail("exit statuses diverge from the fault-free reference");
+    }
+    if (got.workload_digest != ref.workload_digest) {
+      std::ostringstream os;
+      os << "terminal output diverges from the fault-free reference (want \""
+         << ref.tty_concat << "\" got \"" << got.tty_concat << "\")";
+      fail(os.str());
+    }
+    if (got.duplicates != 0 && !got.tty_dups_ok) {
+      fail("duplicate tty records without a tty-server crash");
+    }
+    if (!got.converged) {
+      fail("a surviving cluster did not converge (kernel not quiescent after settle)");
+    }
+  }
+  if (result.ok && opt.check_determinism) {
+    RunOutcome replay = RunWorkload(wl, seed, mode, &plan, opt);
+    if (replay.trace_digest != got.trace_digest) {
+      fail("faulted run is nondeterministic: replay trace digest differs");
+    }
+  }
+  return result;
+}
+
+CampaignSummary RunCampaign(uint64_t first_seed, uint64_t count, const CampaignOptions& opt,
+                            const std::function<void(const ScenarioResult&)>& on_result) {
+  CampaignSummary summary;
+  for (uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    ScenarioResult r = RunScenario(seed, opt);
+    summary.run++;
+    // First token of Describe() is the scenario kind.
+    summary.by_scenario[r.scenario.substr(0, r.scenario.find(' '))]++;
+    if (!r.ok) {
+      summary.failed++;
+      summary.failures.push_back(r);
+    }
+    if (on_result) {
+      on_result(r);
+    }
+  }
+  return summary;
+}
+
+}  // namespace auragen

@@ -1,0 +1,92 @@
+// Deterministic fault-injection campaign (ROADMAP: crash-path validation at
+// scale). Each seed names one complete scenario: a seeded workload of
+// producer/consumer pairs spread over the clusters, plus a seeded fault plan
+// (fault_plan.h). The scenario runs three times:
+//
+//   1. fault-free reference — must complete; its terminal output and exit
+//      statuses are folded into a workload digest;
+//   2. faulted run — the plan fires; afterwards every invariant below is
+//      checked;
+//   3. determinism replay (optional) — the faulted run again; its full
+//      machine trace digest must match run 2 exactly.
+//
+// Invariants checked after the faulted run:
+//   * no AURAGEN_CHECK fires (a fired check aborts the campaign process);
+//   * the run completes — every workload process exits — without tripping
+//     the engine's dispatch limit (livelock guard);
+//   * exit statuses and the workload digest equal the fault-free reference:
+//     recovery is invisible to the application (§6);
+//   * no duplicate terminal records unless a crash hit the cluster hosting
+//     the tty server's primary (§7.9's at-least-once window);
+//   * all surviving clusters converge: every live kernel is quiescent after
+//     the machine settles (no stuck outgoing items, no leaked held_for
+//     messages, no runnable work).
+
+#ifndef AURAGEN_SRC_FAULT_CAMPAIGN_H_
+#define AURAGEN_SRC_FAULT_CAMPAIGN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+
+namespace auragen {
+
+struct CampaignOptions {
+  uint32_t num_clusters = 4;
+  SimTime run_cap_us = 600'000'000;
+  // Dispatched-event ceiling per run; generous (normal runs are a few
+  // hundred thousand events) so only a genuine livelock trips it.
+  uint64_t dispatch_limit = 100'000'000;
+  bool check_determinism = true;
+};
+
+struct ScenarioResult {
+  uint64_t seed = 0;
+  bool ok = true;
+  std::string scenario;  // FaultPlan::Describe()
+  std::string failure;   // empty when ok
+  uint64_t takeovers = 0;
+  uint64_t crashes_handled = 0;
+  uint64_t tty_duplicates = 0;
+};
+
+ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& options);
+
+struct CampaignSummary {
+  uint64_t run = 0;
+  uint64_t failed = 0;
+  std::map<std::string, uint64_t> by_scenario;  // scenario kind name -> runs
+  std::vector<ScenarioResult> failures;
+};
+
+// Runs seeds [first_seed, first_seed + count). `on_result` (if set) fires
+// after every scenario, pass or fail.
+CampaignSummary RunCampaign(uint64_t first_seed, uint64_t count,
+                            const CampaignOptions& options,
+                            const std::function<void(const ScenarioResult&)>& on_result = {});
+
+// Exposed for tests: the seeded workload and plan a scenario will use.
+struct CampaignWorkload {
+  struct Pair {
+    ProcPlacement producer;
+    ProcPlacement consumer;
+    int items = 0;
+    int pace = 0;
+    uint32_t tty_line = 0;
+  };
+  std::vector<Pair> pairs;
+
+  // Spawn-order placements (producer then consumer per pair), matching the
+  // victim list handed to InjectFaultPlan.
+  std::vector<ProcPlacement> Placements() const;
+};
+
+CampaignWorkload MakeCampaignWorkload(uint64_t seed, uint32_t num_clusters);
+FaultPlan MakeScenarioPlan(uint64_t seed, const CampaignOptions& options);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_FAULT_CAMPAIGN_H_

@@ -33,7 +33,7 @@ void Engine::Cancel(EventId id) {
 
 bool Engine::Step(SimTime until) {
   while (!queue_.empty()) {
-    if (queue_.top().when > until) {
+    if (queue_.top().when > until || dispatch_limit_hit()) {
       return false;
     }
     Event ev = queue_.top();

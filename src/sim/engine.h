@@ -57,6 +57,15 @@ class Engine {
   bool Empty() const { return live_events_ == 0; }
   uint64_t dispatched() const { return dispatched_; }
 
+  // Livelock guard for fault campaigns: with a nonzero limit, Run()/Step()
+  // refuse to dispatch past `limit` total events — a run stuck re-scheduling
+  // at the same instant (so time never reaches the horizon) terminates with
+  // dispatch_limit_hit() set instead of spinning forever. 0 disables.
+  void set_dispatch_limit(uint64_t limit) { dispatch_limit_ = limit; }
+  bool dispatch_limit_hit() const {
+    return dispatch_limit_ != 0 && dispatched_ >= dispatch_limit_;
+  }
+
   // Requests that Run() return after the current callback. The queue is
   // left intact; Run() can be called again.
   void Stop() { stop_requested_ = true; }
@@ -84,6 +93,7 @@ class Engine {
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t dispatched_ = 0;
+  uint64_t dispatch_limit_ = 0;
   uint64_t live_events_ = 0;
   bool stop_requested_ = false;
   Tracer* tracer_ = nullptr;

@@ -75,6 +75,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kDiskWrite: return "disk-write";
     case TraceEventKind::kBusTx: return "bus-tx";
     case TraceEventKind::kBusRx: return "bus-rx";
+    case TraceEventKind::kFaultInject: return "fault-inject";
+    case TraceEventKind::kProcFail: return "proc-fail";
     case TraceEventKind::kEngineDispatch: return "engine-dispatch";
     case TraceEventKind::kMaxKind: break;
   }

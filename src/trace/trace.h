@@ -77,6 +77,10 @@ enum class TraceEventKind : uint8_t {
   kBusTx = 50,          // cluster = src; a = frame id, b = wire bytes
   kBusRx = 51,          // cluster = receiver; a = frame id, b = transit us
 
+  // Fault injection (src/fault campaign harness).
+  kFaultInject = 52,    // injector fired; a = FaultKind, b = action index
+  kProcFail = 53,       // §10 individual-process fault; gpid = victim
+
   // Simulation engine (very high volume; masked out by default).
   kEngineDispatch = 60,  // a = event id
 

@@ -1,0 +1,116 @@
+// faultcamp: deterministic fault-injection campaign runner. Executes N
+// seeded crash/kill/restore scenarios against seeded workloads and checks
+// the recovery invariants after each (see src/fault/campaign.h). Any
+// failing seed is a complete reproduction recipe: `faultcamp --seed X`
+// reruns exactly that scenario.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/fault/campaign.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
+               "                 [--clusters C] [--no-determinism] [--verbose]\n"
+               "\n"
+               "  --seeds N          run seeds [start, start+N) (default 200)\n"
+               "  --start S          first seed (default 1)\n"
+               "  --seed X           run exactly one seed, verbosely\n"
+               "  --plan             with --seed: print the fault plan and exit\n"
+               "  --clusters C       clusters per machine (default 4)\n"
+               "  --no-determinism   skip the replay/trace-digest check (3x -> 2x runs)\n"
+               "  --verbose          print every scenario, not just failures\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using auragen::CampaignOptions;
+  using auragen::ScenarioResult;
+
+  uint64_t seeds = 200;
+  uint64_t start = 1;
+  bool single = false;
+  uint64_t single_seed = 0;
+  bool plan_only = false;
+  bool verbose = false;
+  CampaignOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--seed") {
+      single = true;
+      single_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--plan") {
+      plan_only = true;
+    } else if (arg == "--clusters") {
+      opt.num_clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--no-determinism") {
+      opt.check_determinism = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "faultcamp: unknown argument '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (single) {
+    if (plan_only) {
+      std::printf("seed %llu: %s\n", static_cast<unsigned long long>(single_seed),
+                  auragen::MakeScenarioPlan(single_seed, opt).Describe().c_str());
+      return 0;
+    }
+    ScenarioResult r = auragen::RunScenario(single_seed, opt);
+    std::printf("seed %llu: %s  [%s]\n", static_cast<unsigned long long>(r.seed),
+                r.ok ? "PASS" : "FAIL", r.scenario.c_str());
+    std::printf("  takeovers=%llu crashes_handled=%llu tty_dups=%llu\n",
+                static_cast<unsigned long long>(r.takeovers),
+                static_cast<unsigned long long>(r.crashes_handled),
+                static_cast<unsigned long long>(r.tty_duplicates));
+    if (!r.ok) {
+      std::printf("  failure: %s\n", r.failure.c_str());
+    }
+    return r.ok ? 0 : 1;
+  }
+
+  auto summary = auragen::RunCampaign(start, seeds, opt, [&](const ScenarioResult& r) {
+    if (!r.ok) {
+      std::printf("seed %llu: FAIL  [%s]\n  %s\n",
+                  static_cast<unsigned long long>(r.seed), r.scenario.c_str(),
+                  r.failure.c_str());
+    } else if (verbose) {
+      std::printf("seed %llu: PASS  [%s] takeovers=%llu\n",
+                  static_cast<unsigned long long>(r.seed), r.scenario.c_str(),
+                  static_cast<unsigned long long>(r.takeovers));
+    }
+  });
+
+  std::printf("faultcamp: %llu scenarios, %llu failed\n",
+              static_cast<unsigned long long>(summary.run),
+              static_cast<unsigned long long>(summary.failed));
+  for (const auto& [kind, count] : summary.by_scenario) {
+    std::printf("  %-26s %llu\n", kind.c_str(), static_cast<unsigned long long>(count));
+  }
+  return summary.failed == 0 ? 0 : 1;
+}
