@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a bench-results directory against the committed baseline.
+
+Usage:
+  python3 bench/check_bench.py [--results DIR] [--baseline FILE] [--update]
+
+Reads BENCH_<suite>.json files (Google Benchmark JSON, as produced by
+bench/run_benches.sh) from the results directory and prints a per-benchmark
+comparison against the baseline. Suites listed as "gated" in the baseline
+fail the run (exit 1) when any of their benchmarks regress beyond the
+baseline's threshold; the other suites are informational only.
+
+Times compared are real_time (wall clock). When a results file contains
+repetitions, the minimum across repetitions is used — the minimum is the
+noise-robust statistic for "how fast can this code go".
+
+A regression needs both a relative and an absolute exceedance: ratio above
+the threshold AND slowdown above the baseline's noise floor (floor_ns,
+default 50us). Micro-benchmarks that complete in tens of microseconds swing
+far past 20% from scheduler jitter alone on shared CI runners; the floor
+keeps them gated against real regressions without making the job flaky.
+
+--update rewrites the baseline from the current results directory, keeping
+the gated-suite list, threshold, and noise floor.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_results(path):
+    """Returns {benchmark_name: real_time_ns} from a Google Benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the raw
+        # repetition rows all share run_name, and min is taken below.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b["name"])
+        ns = b["real_time"] * TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        if name not in out or ns < out[name]:
+            out[name] = ns
+    return out
+
+
+def fmt_ms(ns):
+    return "%8.3f" % (ns / 1e6)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--results", default="bench-results")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from --results")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.results):
+        print("check_bench: no results directory %r (run bench/run_benches.sh first)"
+              % args.results, file=sys.stderr)
+        return 2
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    gated = set(baseline.get("gated", []))
+    threshold = float(baseline.get("threshold", 1.20))
+    floor_ns = float(baseline.get("floor_ns", 50_000.0))
+
+    if args.update:
+        results = {}
+        for fname in sorted(os.listdir(args.results)):
+            if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+                continue
+            suite = fname[len("BENCH_"):-len(".json")]
+            results[suite] = load_results(os.path.join(args.results, fname))
+        baseline["results"] = results
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("check_bench: baseline updated from %s (%d suites)"
+              % (args.results, len(results)))
+        return 0
+
+    failures = []
+    print("%-52s %10s %10s %8s" % ("benchmark", "base(ms)", "now(ms)", "ratio"))
+    for suite in sorted(baseline.get("results", {})):
+        base = baseline["results"][suite]
+        path = os.path.join(args.results, "BENCH_%s.json" % suite)
+        if not os.path.exists(path):
+            line = "%s: results file missing (%s)" % (suite, path)
+            if suite in gated:
+                failures.append(line)
+            print("  " + line)
+            continue
+        now = load_results(path)
+        for name in sorted(base):
+            if name not in now:
+                line = "%s:%s missing from results" % (suite, name)
+                if suite in gated:
+                    failures.append(line)
+                print("  " + line)
+                continue
+            ratio = now[name] / base[name] if base[name] > 0 else float("inf")
+            mark = ""
+            if ratio > threshold and now[name] - base[name] > floor_ns:
+                mark = " REGRESSION" if suite in gated else " (slower, not gated)"
+                if suite in gated:
+                    failures.append("%s:%s %.2fx over baseline" % (suite, name, ratio))
+            elif ratio > threshold:
+                mark = " (slower, under noise floor)"
+            print("%-52s %s %s %7.2fx%s"
+                  % ("%s:%s" % (suite, name), fmt_ms(base[name]), fmt_ms(now[name]),
+                     ratio, mark))
+
+    if failures:
+        print("\ncheck_bench: FAIL — gated suites regressed >%.0f%%:"
+              % ((threshold - 1.0) * 100))
+        for f_ in failures:
+            print("  " + f_)
+        return 1
+    print("\ncheck_bench: OK (gated: %s, threshold %.0f%%)"
+          % (", ".join(sorted(gated)) or "none", (threshold - 1.0) * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,13 +4,54 @@
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUT_DIR] [-- extra benchmark args]
 #
-# Example: bench/run_benches.sh build bench-results -- --benchmark_filter=E1
+# The `--` separator may appear in any position; everything after it is
+# passed verbatim to each benchmark binary.
+#
+# Examples:
+#   bench/run_benches.sh
+#   bench/run_benches.sh build bench-results -- --benchmark_filter=E1
+#   bench/run_benches.sh -- --benchmark_repetitions=3
 set -eu
 
-BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-bench-results}"
-shift $(( $# > 2 ? 2 : $# )) || true
-[ "${1:-}" = "--" ] && shift
+usage() {
+  echo "usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR] [-- extra benchmark args]" >&2
+  echo "  BUILD_DIR  cmake build tree containing bench/ (default: build)" >&2
+  echo "  OUT_DIR    directory for BENCH_*.json results (default: bench-results)" >&2
+  exit "${1:-2}"
+}
+
+BUILD_DIR=""
+OUT_DIR=""
+npos=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --)
+      shift
+      break
+      ;;
+    -h|--help)
+      usage 0
+      ;;
+    -*)
+      echo "run_benches.sh: unknown option '$1' (pass benchmark args after --)" >&2
+      usage
+      ;;
+    *)
+      npos=$((npos + 1))
+      case $npos in
+        1) BUILD_DIR="$1" ;;
+        2) OUT_DIR="$1" ;;
+        *)
+          echo "run_benches.sh: too many positional arguments ('$1')" >&2
+          usage
+          ;;
+      esac
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-bench-results}"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "run_benches.sh: no $BUILD_DIR/bench — build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2

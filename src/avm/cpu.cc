@@ -29,8 +29,8 @@ StepResult Step(CpuContext& ctx, GuestMemory& mem) {
     return Fault("bad pc");
   }
   uint8_t raw[kAvmInstrBytes];
-  for (uint32_t i = 0; i < kAvmInstrBytes; ++i) {
-    GuestMemory::Access a = mem.Read8(ctx.pc + i, &raw[i]);
+  {
+    GuestMemory::Access a = mem.FetchInstr(ctx.pc, raw);
     if (a == GuestMemory::Access::kFault) {
       return PageFault(mem.fault_page());
     }

@@ -1,97 +1,45 @@
 #include "src/avm/memory.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace auragen {
 
 GuestMemory::GuestMemory()
     : pages_(kAvmNumPages), resident_(kAvmNumPages, false), dirty_(kAvmNumPages, false) {}
-
-GuestMemory::Access GuestMemory::Require(uint32_t addr, uint32_t len) {
-  if (addr + len > kAvmMemBytes || addr + len < addr) {
-    return Access::kOutOfRange;
-  }
-  PageNum first = PageOf(addr);
-  PageNum last = PageOf(addr + len - 1);
-  for (PageNum p = first; p <= last; ++p) {
-    if (!resident_[p]) {
-      fault_page_ = p;
-      return Access::kFault;
-    }
-  }
-  return Access::kOk;
-}
-
-GuestMemory::Access GuestMemory::Read8(uint32_t addr, uint8_t* out) {
-  Access a = Require(addr, 1);
-  if (a != Access::kOk) {
-    return a;
-  }
-  *out = pages_[PageOf(addr)][addr % kAvmPageBytes];
-  return Access::kOk;
-}
-
-GuestMemory::Access GuestMemory::Read32(uint32_t addr, uint32_t* out) {
-  Access a = Require(addr, 4);
-  if (a != Access::kOk) {
-    return a;
-  }
-  uint32_t v = 0;
-  for (uint32_t i = 0; i < 4; ++i) {
-    uint32_t byte_addr = addr + i;
-    v |= static_cast<uint32_t>(pages_[PageOf(byte_addr)][byte_addr % kAvmPageBytes]) << (8 * i);
-  }
-  *out = v;
-  return Access::kOk;
-}
-
-GuestMemory::Access GuestMemory::Write8(uint32_t addr, uint8_t value) {
-  Access a = Require(addr, 1);
-  if (a != Access::kOk) {
-    return a;
-  }
-  PageNum p = PageOf(addr);
-  pages_[p][addr % kAvmPageBytes] = value;
-  dirty_[p] = true;
-  return Access::kOk;
-}
-
-GuestMemory::Access GuestMemory::Write32(uint32_t addr, uint32_t value) {
-  Access a = Require(addr, 4);
-  if (a != Access::kOk) {
-    return a;
-  }
-  for (uint32_t i = 0; i < 4; ++i) {
-    uint32_t byte_addr = addr + i;
-    PageNum p = PageOf(byte_addr);
-    pages_[p][byte_addr % kAvmPageBytes] = static_cast<uint8_t>(value >> (8 * i));
-    dirty_[p] = true;
-  }
-  return Access::kOk;
-}
 
 GuestMemory::Access GuestMemory::ReadRange(uint32_t addr, uint32_t len, Bytes* out) {
   Access a = Require(addr, len);
   if (a != Access::kOk) {
     return a;
   }
-  out->clear();
-  out->reserve(len);
-  for (uint32_t i = 0; i < len; ++i) {
-    uint32_t byte_addr = addr + i;
-    out->push_back(pages_[PageOf(byte_addr)][byte_addr % kAvmPageBytes]);
+  out->resize(len);
+  uint32_t done = 0;
+  while (done < len) {
+    uint32_t byte_addr = addr + done;
+    uint32_t off = byte_addr % kAvmPageBytes;
+    uint32_t chunk = std::min(len - done, kAvmPageBytes - off);
+    std::memcpy(out->data() + done, pages_[PageOf(byte_addr)].data() + off, chunk);
+    done += chunk;
   }
   return Access::kOk;
 }
 
 GuestMemory::Access GuestMemory::WriteRange(uint32_t addr, const Bytes& data) {
-  Access a = Require(addr, static_cast<uint32_t>(data.size()));
+  uint32_t len = static_cast<uint32_t>(data.size());
+  Access a = Require(addr, len);
   if (a != Access::kOk) {
     return a;
   }
-  for (uint32_t i = 0; i < data.size(); ++i) {
-    uint32_t byte_addr = addr + i;
+  uint32_t done = 0;
+  while (done < len) {
+    uint32_t byte_addr = addr + done;
     PageNum p = PageOf(byte_addr);
-    pages_[p][byte_addr % kAvmPageBytes] = data[i];
+    uint32_t off = byte_addr % kAvmPageBytes;
+    uint32_t chunk = std::min(len - done, kAvmPageBytes - off);
+    std::memcpy(pages_[p].data() + off, data.data() + done, chunk);
     dirty_[p] = true;
+    done += chunk;
   }
   return Access::kOk;
 }

@@ -35,6 +35,11 @@ class GuestMemory {
   Access Write8(uint32_t addr, uint8_t value);
   Access Write32(uint32_t addr, uint32_t value);
 
+  // One aligned instruction word per call. Alignment guarantees the fetch
+  // never crosses a page (kAvmPageBytes is a multiple of kAvmInstrBytes),
+  // so a single residency check covers all bytes.
+  Access FetchInstr(uint32_t addr, uint8_t out[kAvmInstrBytes]);
+
   // Bulk access for kernel copies of syscall buffers. Faults on the first
   // non-resident page touched.
   Access ReadRange(uint32_t addr, uint32_t len, Bytes* out);
@@ -77,6 +82,105 @@ class GuestMemory {
 };
 
 inline PageNum PageOf(uint32_t addr) { return addr / kAvmPageBytes; }
+
+// The single-byte/word accessors sit on the interpreter's per-instruction
+// path; they are defined inline so the fetch/decode loop pays no call cost.
+
+inline GuestMemory::Access GuestMemory::Require(uint32_t addr, uint32_t len) {
+  if (addr + len > kAvmMemBytes || addr + len < addr) {
+    return Access::kOutOfRange;
+  }
+  PageNum first = PageOf(addr);
+  PageNum last = PageOf(addr + len - 1);
+  for (PageNum p = first; p <= last; ++p) {
+    if (!resident_[p]) {
+      fault_page_ = p;
+      return Access::kFault;
+    }
+  }
+  return Access::kOk;
+}
+
+inline GuestMemory::Access GuestMemory::Read8(uint32_t addr, uint8_t* out) {
+  Access a = Require(addr, 1);
+  if (a != Access::kOk) {
+    return a;
+  }
+  *out = pages_[PageOf(addr)][addr % kAvmPageBytes];
+  return Access::kOk;
+}
+
+inline GuestMemory::Access GuestMemory::Read32(uint32_t addr, uint32_t* out) {
+  Access a = Require(addr, 4);
+  if (a != Access::kOk) {
+    return a;
+  }
+  uint32_t off = addr % kAvmPageBytes;
+  if (off + 4 <= kAvmPageBytes) {
+    const uint8_t* b = pages_[PageOf(addr)].data() + off;
+    *out = static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+           static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+    return Access::kOk;
+  }
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint32_t byte_addr = addr + i;
+    v |= static_cast<uint32_t>(pages_[PageOf(byte_addr)][byte_addr % kAvmPageBytes]) << (8 * i);
+  }
+  *out = v;
+  return Access::kOk;
+}
+
+inline GuestMemory::Access GuestMemory::Write8(uint32_t addr, uint8_t value) {
+  Access a = Require(addr, 1);
+  if (a != Access::kOk) {
+    return a;
+  }
+  PageNum p = PageOf(addr);
+  pages_[p][addr % kAvmPageBytes] = value;
+  dirty_[p] = true;
+  return Access::kOk;
+}
+
+inline GuestMemory::Access GuestMemory::Write32(uint32_t addr, uint32_t value) {
+  Access a = Require(addr, 4);
+  if (a != Access::kOk) {
+    return a;
+  }
+  uint32_t off = addr % kAvmPageBytes;
+  if (off + 4 <= kAvmPageBytes) {
+    PageNum p = PageOf(addr);
+    uint8_t* b = pages_[p].data() + off;
+    b[0] = static_cast<uint8_t>(value);
+    b[1] = static_cast<uint8_t>(value >> 8);
+    b[2] = static_cast<uint8_t>(value >> 16);
+    b[3] = static_cast<uint8_t>(value >> 24);
+    dirty_[p] = true;
+    return Access::kOk;
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint32_t byte_addr = addr + i;
+    PageNum p = PageOf(byte_addr);
+    pages_[p][byte_addr % kAvmPageBytes] = static_cast<uint8_t>(value >> (8 * i));
+    dirty_[p] = true;
+  }
+  return Access::kOk;
+}
+
+inline GuestMemory::Access GuestMemory::FetchInstr(uint32_t addr,
+                                                   uint8_t out[kAvmInstrBytes]) {
+  static_assert(kAvmPageBytes % kAvmInstrBytes == 0,
+                "aligned fetches must not cross pages");
+  Access a = Require(addr, kAvmInstrBytes);
+  if (a != Access::kOk) {
+    return a;
+  }
+  const uint8_t* b = pages_[PageOf(addr)].data() + addr % kAvmPageBytes;
+  for (uint32_t i = 0; i < kAvmInstrBytes; ++i) {
+    out[i] = b[i];
+  }
+  return Access::kOk;
+}
 
 }  // namespace auragen
 

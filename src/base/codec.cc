@@ -1,8 +1,41 @@
 #include "src/base/codec.h"
 
 #include <array>
+#include <utility>
 
 namespace auragen {
+
+BufferPool& BufferPool::Get() {
+  static thread_local BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::Acquire() {
+  if (free_.empty()) {
+    return Bytes{};
+  }
+  Bytes b = std::move(free_.back());
+  free_.pop_back();
+  b.clear();  // capacity retained
+  ++reuses_;
+  return b;
+}
+
+void BufferPool::Release(Bytes&& buf) {
+  if (free_.size() >= kMaxFree || buf.capacity() == 0 ||
+      buf.capacity() > kMaxPooledCapacity) {
+    return;  // let the allocator have it
+  }
+  ++releases_;
+  free_.push_back(std::move(buf));
+}
+
+PayloadPtr MakePayload(Bytes&& bytes) {
+  return PayloadPtr(new Bytes(std::move(bytes)), [](const Bytes* p) {
+    BufferPool::Get().Release(std::move(*const_cast<Bytes*>(p)));
+    delete p;
+  });
+}
 
 uint64_t Fnv1a(const uint8_t* data, size_t size) {
   uint64_t h = 0xcbf29ce484222325ull;

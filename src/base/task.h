@@ -1,0 +1,130 @@
+// Task: a move-only `void()` callable with a large inline buffer.
+//
+// The discrete-event engine schedules hundreds of thousands of closures per
+// simulated second. std::function's small-object buffer (16 bytes on
+// libstdc++) is too small for the hot closures — `this` plus a Frame or a
+// decoded message view — so every Schedule() call heap-allocated, and every
+// dispatch *copied* the closure (std::function is copyable, so pulling the
+// event out of the queue duplicated it). Task sizes its inline buffer for
+// the delivery-path closures and is move-only, so scheduling a hot event
+// touches the allocator zero times.
+//
+// Semantics: construct from any callable, invoke once or many times via
+// operator(), move freely. A moved-from Task is empty; invoking an empty
+// Task is checked.
+
+#ifndef AURAGEN_SRC_BASE_TASK_H_
+#define AURAGEN_SRC_BASE_TASK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace auragen {
+
+class Task {
+ public:
+  // Sized for the hot closures: `this` + MsgView (header + shared payload +
+  // body cursor) on delivery, `this` + pid + BodyRun on dispatch completion.
+  // Larger captures fall back to the heap.
+  static constexpr size_t kInlineBytes = 120;
+
+  Task() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = InlineVtable<Fn>();
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vt_ = HeapVtable<Fn>();
+    }
+  }
+
+  Task(Task&& other) noexcept { MoveFrom(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { Reset(); }
+
+  void operator()() {
+    AURAGEN_CHECK(vt_ != nullptr) << "invoking empty Task";
+    vt_->invoke(buf_);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct Vtable {
+    void (*invoke)(void* buf);
+    // Moves the callable from `from` into raw storage `to` and destroys the
+    // source, leaving the `from` Task logically empty.
+    void (*relocate)(void* to, void* from) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename Fn>
+  static const Vtable* InlineVtable() {
+    static constexpr Vtable vt = {
+        [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+        [](void* to, void* from) noexcept {
+          Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+          ::new (to) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](void* buf) noexcept { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+    };
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const Vtable* HeapVtable() {
+    static constexpr Vtable vt = {
+        [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+        [](void* to, void* from) noexcept {
+          *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+        },
+        [](void* buf) noexcept { delete *reinterpret_cast<Fn**>(buf); },
+    };
+    return &vt;
+  }
+
+  void MoveFrom(Task& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const Vtable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_BASE_TASK_H_

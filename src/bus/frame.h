@@ -28,9 +28,14 @@ struct Frame {
                                // happens after successful transmission, §7.4.2)
   SimTime sent_at = 0;         // bus-accept time; observability only, not on
                                // the wire (excluded from WireSize)
-  Bytes payload;
+  // Shared immutable payload (DESIGN.md §13): one encoded buffer serves the
+  // bus queue, every per-destination delivery, and any deferred executive
+  // work. Copying a Frame bumps a refcount; the bytes are copied only where
+  // a queue takes ownership.
+  PayloadPtr payload;
 
-  size_t WireSize() const { return payload.size() + kHeaderBytes; }
+  size_t payload_size() const { return payload == nullptr ? 0 : payload->size(); }
+  size_t WireSize() const { return payload_size() + kHeaderBytes; }
 
   static constexpr size_t kHeaderBytes = 16;
 };

@@ -34,7 +34,7 @@ void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload
   frame.src = src;
   frame.targets = targets;
   frame.sent_at = engine_.Now();
-  frame.payload = std::move(payload);
+  frame.payload = MakePayload(std::move(payload));
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kBusTx, src, 0, 0, frame.frame_id,
                     frame.WireSize());
@@ -62,15 +62,17 @@ void InterclusterBus::StartNext() {
   pending_.pop_front();
 
   SimTime cost = config_.FrameTime(frame.WireSize());
+  stats_.busy_us += cost;
   if (!line_ok_[0]) {
     // The preferred line is down: the low-level protocol times out and
-    // retries on line 1.
+    // retries on line 1. The wait is accounted separately from transmit-busy
+    // time — the line is idle while the sender waits out the timeout.
     cost += config_.line_failover_timeout_us;
+    stats_.failover_wait_us += config_.line_failover_timeout_us;
     ++stats_.failovers;
   }
-  stats_.busy_us += cost;
   ++stats_.frames_sent;
-  stats_.bytes_sent += frame.payload.size();
+  stats_.bytes_sent += frame.payload_size();
 
   engine_.Schedule(cost, [this, frame = std::move(frame)]() mutable {
     Deliver(frame);
@@ -88,6 +90,8 @@ void InterclusterBus::Deliver(const Frame& frame) {
         continue;
       }
       SimTime jitter = violation_rng_.Range(0, 3 * config_.arbitration_us + 5);
+      // Each per-destination closure carries its own Frame copy, but the
+      // payload is shared — allocations no longer scale with |targets|.
       engine_.Schedule(jitter, [this, frame, c] {
         if (endpoints_[c] != nullptr) {
           ++stats_.deliveries;

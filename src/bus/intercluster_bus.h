@@ -57,7 +57,11 @@ struct BusStats {
   uint64_t deliveries = 0;        // per-destination deliveries
   uint64_t bytes_sent = 0;        // payload bytes transmitted (once per frame)
   uint64_t failovers = 0;         // line failovers performed
-  SimTime busy_us = 0;            // time a line spent transmitting
+  SimTime busy_us = 0;            // time a line spent transmitting payload
+  SimTime failover_wait_us = 0;   // time spent detecting a dead line before
+                                  // retrying on the other (not transmit-busy;
+                                  // folding it into busy_us inflated E6's
+                                  // bus-utilization numbers)
 };
 
 // Modes for deliberately violating §5.1 guarantees in negative tests.

@@ -798,12 +798,12 @@ void Kernel::RecreateServerBackup(Gpid pid, ClusterId target) {
   BroadcastBackupLocation(pid, target);
 }
 
-void Kernel::HandleServerSync(const Msg& msg) {
+void Kernel::HandleServerSync(const MsgView& msg) {
   Pcb* pcb = FindProcess(msg.header.dst_pid);
   if (pcb == nullptr || !pcb->server_backup) {
     return;
   }
-  ByteReader r(msg.body);
+  ByteReader r(msg.body());
   ServerSyncPrefix prefix = ServerSyncPrefix::Deserialize(r);
   for (const auto& [chan, count] : prefix.serviced) {
     RoutingEntry* e = routing_.Find(chan, pcb->pid, /*backup=*/true);
@@ -822,7 +822,7 @@ void Kernel::HandleServerSync(const Msg& msg) {
   }
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kServerSyncApply, id_, pcb->pid.value, 0,
-                    msg.body.size(), 0);
+                    msg.body().size(), 0);
   }
 }
 

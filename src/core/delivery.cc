@@ -10,7 +10,7 @@
 
 namespace auragen {
 
-void Kernel::ExecEnqueue(SimTime cost, std::function<void()> fn) {
+void Kernel::ExecEnqueue(SimTime cost, Task fn) {
   exec_queue_.push_back(ExecItem{cost, std::move(fn)});
   ExecPump();
 }
@@ -23,11 +23,17 @@ void Kernel::ExecPump() {
   ExecItem item = std::move(exec_queue_.front());
   exec_queue_.pop_front();
   env_.metrics().exec_busy_us += item.cost;
-  env_.engine().Schedule(item.cost, [this, fn = std::move(item.fn)] {
+  // The running task is parked in a member rather than captured: a closure
+  // holding a Task would always overflow Task's own inline buffer and force
+  // a heap allocation per executive step. Only one task runs at a time
+  // (exec_busy_), so the slot cannot be clobbered.
+  exec_running_ = std::move(item.fn);
+  env_.engine().Schedule(item.cost, [this] {
     if (!alive_) {
       return;
     }
     exec_busy_ = false;
+    Task fn = std::move(exec_running_);
     fn();
     ExecPump();
   });
@@ -106,7 +112,10 @@ void Kernel::OnFrame(const Frame& frame) {
   if (!alive_) {
     return;
   }
-  Msg msg = Msg::Decode(frame.payload);
+  // Decode-once (§7.4.2): parse the fixed header in place; the body remains
+  // a view into the shared frame payload, kept alive by the MsgView. No
+  // bytes are copied until a queue takes ownership of the message.
+  MsgView msg = MsgView::Parse(frame.payload);
   if (msg.header.kind == MsgKind::kHeartbeat) {
     // Heartbeats are handled by the bus interface hardware directly; they
     // cost no executive time and cannot be delayed behind message work.
@@ -129,14 +138,14 @@ void Kernel::OnFrame(const Frame& frame) {
   });
 }
 
-void Kernel::EnqueueAtEntry(RoutingEntry& entry, const Msg& msg) {
+void Kernel::EnqueueAtEntry(RoutingEntry& entry, const MsgView& msg) {
   QueuedMsg q;
   q.arrival_seq = next_arrival_seq_++;
-  q.msg = msg;
+  q.msg = msg.ToOwned();  // the queue takes ownership: the one legal copy
   entry.queue.push_back(std::move(q));
 }
 
-void Kernel::DeliverLocal(const Msg& msg) {
+void Kernel::DeliverLocal(const MsgView& msg) {
   const MsgHeader& h = msg.header;
   switch (h.kind) {
     case MsgKind::kUser:
@@ -168,7 +177,7 @@ void Kernel::DeliverLocal(const Msg& msg) {
         if (tracer_ != nullptr) {
           tracer_->Record(TraceEventKind::kDeliverBackup, id_, h.dst_pid.value,
                           h.channel.value, static_cast<uint64_t>(h.kind),
-                          msg.body.size());
+                          msg.body().size());
         }
       }
     } else if (entry != nullptr) {
@@ -180,7 +189,7 @@ void Kernel::DeliverLocal(const Msg& msg) {
         if (tracer_ != nullptr) {
           tracer_->Record(TraceEventKind::kDeliverPrimary, id_, h.dst_pid.value,
                           h.channel.value, static_cast<uint64_t>(h.kind),
-                          msg.body.size());
+                          msg.body().size());
         }
       }
       WakeReaders(*entry);
@@ -224,7 +233,7 @@ void Kernel::DeliverLocal(const Msg& msg) {
           if (tracer_ != nullptr) {
             tracer_->Record(TraceEventKind::kDeliverPrimary, id_, h.dst_pid.value,
                             h.channel.value, static_cast<uint64_t>(h.kind),
-                            msg.body.size());
+                            msg.body().size());
           }
         }
         WakeReaders(*flipped);
@@ -238,14 +247,14 @@ void Kernel::DeliverLocal(const Msg& msg) {
         if (tracer_ != nullptr) {
           tracer_->Record(TraceEventKind::kDeliverBackup, id_, h.dst_pid.value,
                           h.channel.value, static_cast<uint64_t>(h.kind),
-                          msg.body.size());
+                          msg.body().size());
         }
       }
     }
     if (h.kind == MsgKind::kOpenReply) {
       // §7.4.1: "The arrival of an open reply at a backup cluster causes the
       // creation of the backup routing table entry."
-      OpenReplyBody reply = OpenReplyBody::Decode(msg.body);
+      OpenReplyBody reply = OpenReplyBody::Decode(msg.body());
       if (reply.status == 0) {
         RoutingEntry* existing = routing_.Find(reply.channel, h.dst_pid, /*backup=*/true);
         if (existing == nullptr) {
@@ -277,7 +286,7 @@ void Kernel::DeliverLocal(const Msg& msg) {
   if (h.kind == MsgKind::kSync) {
     // Beyond the page-server channel delivery above, a sync message updates
     // the backup PCB when this cluster hosts it (§7.8).
-    SyncRecord record = SyncRecord::Decode(msg.body);
+    SyncRecord record = SyncRecord::Decode(msg.body());
     if (record.backup_cluster == id_) {
       ExecEnqueue(env_.config().exec_sync_apply_us, [this, record = std::move(record)] {
         ApplySyncAtBackup(record);
@@ -300,10 +309,10 @@ void Kernel::WakeReaders(const RoutingEntry& entry) {
   TryCompleteBlocked(pcb);
 }
 
-void Kernel::HandleControl(const Msg& msg) {
+void Kernel::HandleControl(const MsgView& msg) {
   switch (msg.header.kind) {
     case MsgKind::kChanCreate: {
-      ChanCreate c = ChanCreate::Decode(msg.body);
+      ChanCreate c = ChanCreate::Decode(msg.body());
       // Never clobber queues/counters of an existing entry: replayed forks
       // and duplicate notices re-announce channels that already carry saved
       // traffic. Only refresh the addressing.
@@ -322,22 +331,22 @@ void Kernel::HandleControl(const Msg& msg) {
       break;
     }
     case MsgKind::kBirthNotice:
-      HandleBirthNotice(BirthNotice::Decode(msg.body));
+      HandleBirthNotice(BirthNotice::Decode(msg.body()));
       break;
     case MsgKind::kExitNotice:
       HandleExitNotice(msg.header.dst_pid);
       break;
     case MsgKind::kCrashNotice: {
-      ByteReader r(msg.body);
+      ByteReader r(msg.body());
       HandleCrashNotice(static_cast<ClusterId>(r.U32()));
       break;
     }
     case MsgKind::kBackupCreate:
-      HandleBackupCreate(BackupCreateBody::Decode(msg.body),
+      HandleBackupCreate(BackupCreateBody::Decode(msg.body()),
                          msg.header.src_pid.origin_cluster());
       break;
     case MsgKind::kBackupReady: {
-      ByteReader r(msg.body);
+      ByteReader r(msg.body());
       Gpid pid;
       pid.value = r.U64();
       ClusterId nb = r.U32();
@@ -351,7 +360,7 @@ void Kernel::HandleControl(const Msg& msg) {
       ApplyCheckpointAtBackup(msg);
       break;
     case MsgKind::kProcCrash: {
-      ByteReader r(msg.body);
+      ByteReader r(msg.body());
       Gpid pid;
       pid.value = r.U64();
       ClusterId at = r.U32();
@@ -360,7 +369,7 @@ void Kernel::HandleControl(const Msg& msg) {
     }
     case MsgKind::kPageReply:
       if (msg.header.dst_primary_cluster == id_) {
-        HandlePageReply(PageReplyBody::Decode(msg.body));
+        HandlePageReply(PageReplyBody::Decode(msg.body()));
       }
       if (msg.header.src_backup_cluster == id_) {
         // Count the page server's reply at its backup (suppression on

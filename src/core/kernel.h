@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/task.h"
 #include "src/core/config.h"
 #include "src/core/env.h"
 #include "src/core/pcb.h"
@@ -143,13 +144,13 @@ class Kernel : public BusEndpoint {
     Gpid held_for;  // fullback destination awaiting kBackupReady (§7.10.1)
   };
   void EnqueueOutgoing(Msg msg, ClusterMask targets);
-  void ExecEnqueue(SimTime cost, std::function<void()> fn);
+  void ExecEnqueue(SimTime cost, Task fn);
   void ExecPump();
   void PumpTransmit();
-  void DeliverLocal(const Msg& msg);
-  void EnqueueAtEntry(RoutingEntry& entry, const Msg& msg);
+  void DeliverLocal(const MsgView& msg);
+  void EnqueueAtEntry(RoutingEntry& entry, const MsgView& msg);
   void WakeReaders(const RoutingEntry& entry);
-  void HandleControl(const Msg& msg);
+  void HandleControl(const MsgView& msg);
   ClusterMask TargetsOf(const RoutingEntry& entry) const;
 
   // ---- system calls (syscalls.cc) ----
@@ -197,7 +198,7 @@ class Kernel : public BusEndpoint {
   void ApplySyncAtBackup(const SyncRecord& record);
   // Checkpoint baselines (§2) replace ForceSync when configured.
   void ForceCheckpoint(Pcb& pcb);
-  void ApplyCheckpointAtBackup(const Msg& msg);
+  void ApplyCheckpointAtBackup(const MsgView& msg);
   // Serialized KernelContext of `pcb` at a quiescent point (sync, checkpoint
   // and replacement-backup creation all ship exactly this).
   Bytes CaptureKernelContext(Pcb& pcb);
@@ -257,7 +258,7 @@ class Kernel : public BusEndpoint {
   ClusterMask LiveBroadcastMask() const;
   void HandleBackupCreate(const BackupCreateBody& body, ClusterId from);
   void HandleBackupReady(Gpid pid, ClusterId new_backup, ClusterId primary_home);
-  void HandleServerSync(const Msg& msg);
+  void HandleServerSync(const MsgView& msg);
   void HandleProcCrash(Gpid pid, ClusterId at);
 
   MachineEnv& env_;
@@ -275,10 +276,11 @@ class Kernel : public BusEndpoint {
   // Executive processor: serialized service queue + FIFO outgoing queue.
   struct ExecItem {
     SimTime cost;
-    std::function<void()> fn;
+    Task fn;
   };
   std::deque<ExecItem> exec_queue_;
   bool exec_busy_ = false;
+  Task exec_running_;  // the in-flight exec task (see ExecPump)
   std::deque<OutgoingItem> outgoing_;
   bool transmit_enabled_ = true;
   bool transmit_pumping_ = false;

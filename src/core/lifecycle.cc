@@ -63,7 +63,7 @@ void Kernel::CreateChannelPair(Pcb& pcb, Fd fd, ChannelId channel, const ServerA
     if (to == id_) {
       // Local fabrication (server in this very cluster): apply directly so
       // ordering against locally-queued work stays trivial.
-      HandleControl(msg);
+      HandleControl(MsgView::FromOwned(std::move(msg)));
       return;
     }
     EnqueueOutgoing(std::move(msg), MaskOf(to));
@@ -151,7 +151,7 @@ void Kernel::CreateKernelChannel(const ServerAddr& server, uint32_t tag) {
                               BackupMode::kQuarterback, tag)
                    .Encode();
     if (to == id_) {
-      HandleControl(msg);
+      HandleControl(MsgView::FromOwned(std::move(msg)));
     } else {
       EnqueueOutgoing(std::move(msg), MaskOf(to));
     }
@@ -183,7 +183,7 @@ void Kernel::InjectLocalMessage(Gpid owner, uint32_t binding_tag, Bytes payload)
     msg.header.dst_pid = owner;
     msg.header.channel = e->channel;
     msg.body = std::move(payload);
-    EnqueueAtEntry(*e, msg);
+    EnqueueAtEntry(*e, MsgView::FromOwned(std::move(msg)));
     WakeReaders(*e);
     return;
   }
@@ -356,7 +356,7 @@ void Kernel::HandleBirthNotice(const BirthNotice& notice) {
     Msg msg;
     msg.header.kind = MsgKind::kChanCreate;
     msg.body = blob;
-    HandleControl(msg);
+    HandleControl(MsgView::FromOwned(std::move(msg)));
   }
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kBirthNotice, id_, notice.child.value, 0,

@@ -462,8 +462,8 @@ void Kernel::ForceCheckpoint(Pcb& pcb) {
   EnqueueOutgoing(std::move(msg), MaskOf(pcb.backup_cluster));
 }
 
-void Kernel::ApplyCheckpointAtBackup(const Msg& msg) {
-  ByteReader r(msg.body);
+void Kernel::ApplyCheckpointAtBackup(const MsgView& msg) {
+  ByteReader r(msg.body());
   Gpid pid;
   pid.value = r.U64();
   bool full = r.U8() != 0;

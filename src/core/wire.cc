@@ -55,12 +55,39 @@ Bytes Msg::Encode() const {
   return w.Take();
 }
 
-Msg Msg::Decode(const Bytes& frame_payload) {
+Msg Msg::Decode(ByteView frame_payload) {
   ByteReader r(frame_payload);
   Msg m;
   m.header = MsgHeader::Deserialize(r);
   m.body = r.Blob();
   return m;
+}
+
+Msg MsgView::ToOwned() const {
+  Msg m;
+  m.header = header;
+  m.body = body().ToBytes();
+  return m;
+}
+
+MsgView MsgView::FromOwned(Msg&& m) {
+  MsgView v;
+  v.header = m.header;
+  v.body_len = static_cast<uint32_t>(m.body.size());
+  v.payload = MakePayload(std::move(m.body));
+  v.body_off = 0;
+  return v;
+}
+
+MsgView MsgView::Parse(const PayloadPtr& frame_payload) {
+  ByteReader r(*frame_payload);
+  MsgView v;
+  v.header = MsgHeader::Deserialize(r);
+  ByteView body = r.BlobView();
+  v.payload = frame_payload;
+  v.body_off = static_cast<uint32_t>(body.data() - frame_payload->data());
+  v.body_len = static_cast<uint32_t>(body.size());
+  return v;
 }
 
 Bytes SyncRecord::Encode() const {
@@ -87,7 +114,7 @@ Bytes SyncRecord::Encode() const {
   return w.Take();
 }
 
-SyncRecord SyncRecord::Decode(const Bytes& body) {
+SyncRecord SyncRecord::Decode(ByteView body) {
   ByteReader r(body);
   SyncRecord s;
   s.pid.value = r.U64();
@@ -127,7 +154,7 @@ Bytes BirthNotice::Encode() const {
   return w.Take();
 }
 
-BirthNotice BirthNotice::Decode(const Bytes& body) {
+BirthNotice BirthNotice::Decode(ByteView body) {
   ByteReader r(body);
   BirthNotice b;
   b.parent.value = r.U64();
@@ -161,7 +188,7 @@ Bytes KernelContext::Encode() const {
   return w.Take();
 }
 
-KernelContext KernelContext::Decode(const Bytes& blob) {
+KernelContext KernelContext::Decode(ByteView blob) {
   ByteReader r(blob);
   KernelContext k;
   k.body_context = r.Blob();
@@ -198,7 +225,7 @@ Bytes ChanCreate::Encode() const {
   return w.Take();
 }
 
-ChanCreate ChanCreate::Decode(const Bytes& body) {
+ChanCreate ChanCreate::Decode(ByteView body) {
   ByteReader r(body);
   ChanCreate c;
   c.channel.value = r.U64();
@@ -228,7 +255,7 @@ Bytes OpenReplyBody::Encode() const {
   return w.Take();
 }
 
-OpenReplyBody OpenReplyBody::Decode(const Bytes& body) {
+OpenReplyBody OpenReplyBody::Decode(ByteView body) {
   ByteReader r(body);
   OpenReplyBody o;
   o.request_cookie = r.U64();
@@ -250,7 +277,7 @@ Bytes PageWriteBody::Encode() const {
   return w.Take();
 }
 
-PageWriteBody PageWriteBody::Decode(const Bytes& body) {
+PageWriteBody PageWriteBody::Decode(ByteView body) {
   ByteReader r(body);
   PageWriteBody p;
   p.pid.value = r.U64();
@@ -268,7 +295,7 @@ Bytes PageRequestBody::Encode() const {
   return w.Take();
 }
 
-PageRequestBody PageRequestBody::Decode(const Bytes& body) {
+PageRequestBody PageRequestBody::Decode(ByteView body) {
   ByteReader r(body);
   PageRequestBody p;
   p.pid.value = r.U64();
@@ -288,7 +315,7 @@ Bytes PageReplyBody::Encode() const {
   return w.Take();
 }
 
-PageReplyBody PageReplyBody::Decode(const Bytes& body) {
+PageReplyBody PageReplyBody::Decode(ByteView body) {
   ByteReader r(body);
   PageReplyBody p;
   p.pid.value = r.U64();
@@ -358,7 +385,7 @@ Bytes BackupCreateBody::Encode() const {
   return w.Take();
 }
 
-BackupCreateBody BackupCreateBody::Decode(const Bytes& body) {
+BackupCreateBody BackupCreateBody::Decode(ByteView body) {
   ByteReader r(body);
   BackupCreateBody b;
   b.pid.value = r.U64();

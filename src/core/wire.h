@@ -78,9 +78,32 @@ struct Msg {
   Bytes body;
 
   Bytes Encode() const;
-  static Msg Decode(const Bytes& frame_payload);
+  static Msg Decode(ByteView frame_payload);
 
   size_t ByteSize() const { return body.size() + 64; }
+};
+
+// Decode-once view of a frame payload (DESIGN.md §13). The executive parses
+// the fixed header a single time per arriving frame; the body stays a
+// non-owning cursor into the shared payload buffer, which the view keeps
+// alive. Receivers copy bytes only at the point a queue genuinely takes
+// ownership (ToOwned: primary read queue, backup saved queue).
+struct MsgView {
+  MsgHeader header;
+  PayloadPtr payload;     // shared frame buffer; never mutated
+  uint32_t body_off = 0;  // body location inside *payload
+  uint32_t body_len = 0;
+
+  ByteView body() const { return ByteView(payload->data() + body_off, body_len); }
+
+  // The single legal copy point: materializes an owned Msg for a queue.
+  Msg ToOwned() const;
+
+  static MsgView Parse(const PayloadPtr& frame_payload);
+
+  // Adapts a locally-built Msg (no frame involved) by moving its body into
+  // the shared-payload plane — for kernel-internal self-delivery paths.
+  static MsgView FromOwned(Msg&& m);
 };
 
 // --- kind-specific bodies ---
@@ -114,7 +137,7 @@ struct SyncRecord {
   std::vector<SyncChannelRecord> channels;
 
   Bytes Encode() const;
-  static SyncRecord Decode(const Bytes& body);
+  static SyncRecord Decode(ByteView body);
 };
 
 // Kernel-held per-process state that must survive into the backup alongside
@@ -130,7 +153,7 @@ struct KernelContext {
   bool in_signal = false;
 
   Bytes Encode() const;
-  static KernelContext Decode(const Bytes& blob);
+  static KernelContext Decode(ByteView blob);
 };
 
 // kBirthNotice (§7.7): enough to repeat the fork with the same identity, and
@@ -144,7 +167,7 @@ struct BirthNotice {
   std::vector<Bytes> chan_creates;  // encoded ChanCreate for fork channels
 
   Bytes Encode() const;
-  static BirthNotice Decode(const Bytes& body);
+  static BirthNotice Decode(ByteView body);
 };
 
 // kChanCreate: instructs a cluster's executive to fabricate a routing entry.
@@ -164,7 +187,7 @@ struct ChanCreate {
   uint32_t binding_tag = 0;       // server-side meaning (e.g. tty line)
 
   Bytes Encode() const;
-  static ChanCreate Decode(const Bytes& body);
+  static ChanCreate Decode(ByteView body);
 };
 
 // kOpenReply body: the new channel's addressing, as seen by the opener.
@@ -179,7 +202,7 @@ struct OpenReplyBody {
   uint8_t peer_mode = 0;          // peer's BackupMode
 
   Bytes Encode() const;
-  static OpenReplyBody Decode(const Bytes& body);
+  static OpenReplyBody Decode(ByteView body);
 };
 
 // kPageWrite / kPageReply payloads.
@@ -189,7 +212,7 @@ struct PageWriteBody {
   Bytes content;
 
   Bytes Encode() const;
-  static PageWriteBody Decode(const Bytes& body);
+  static PageWriteBody Decode(ByteView body);
 };
 
 struct PageRequestBody {
@@ -199,7 +222,7 @@ struct PageRequestBody {
   uint64_t cookie = 0;
 
   Bytes Encode() const;
-  static PageRequestBody Decode(const Bytes& body);
+  static PageRequestBody Decode(ByteView body);
 };
 
 struct PageReplyBody {
@@ -210,7 +233,7 @@ struct PageReplyBody {
   Bytes content;
 
   Bytes Encode() const;
-  static PageReplyBody Decode(const Bytes& body);
+  static PageReplyBody Decode(ByteView body);
 };
 
 // kBackupCreate (§7.10.1 step 3): everything a cluster needs to become the
@@ -249,7 +272,7 @@ struct BackupCreateBody {
   std::vector<SavedQueueRecord> queues;
 
   Bytes Encode() const;
-  static BackupCreateBody Decode(const Bytes& body);
+  static BackupCreateBody Decode(ByteView body);
 };
 
 }  // namespace auragen

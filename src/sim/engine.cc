@@ -12,14 +12,23 @@ Engine::Engine() {
 
 Engine::~Engine() { Logger::Get().set_time_source({}); }
 
-EventId Engine::Schedule(SimTime delay, std::function<void()> fn) {
+EventId Engine::Schedule(SimTime delay, Task fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Engine::ScheduleAt(SimTime when, Task fn) {
   AURAGEN_CHECK(when >= now_) << "scheduling into the past:" << when << "<" << now_;
   EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  queue_.push(Event{when, id, slot});
   ++live_events_;
   return id;
 }
@@ -39,7 +48,10 @@ bool Engine::Step(SimTime until) {
     Event ev = queue_.top();
     queue_.pop();
     --live_events_;
-    if (std::find(cancelled_.begin(), cancelled_.end(), ev.id) != cancelled_.end()) {
+    Task fn = std::move(slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    if (!cancelled_.empty() &&
+        std::find(cancelled_.begin(), cancelled_.end(), ev.id) != cancelled_.end()) {
       cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
                        cancelled_.end());
       continue;
@@ -49,7 +61,7 @@ bool Engine::Step(SimTime until) {
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventKind::kEngineDispatch, kNoCluster, 0, 0, ev.id, 0);
     }
-    ev.fn();
+    fn();
     return true;
   }
   return false;

@@ -11,11 +11,11 @@
 #define AURAGEN_SRC_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/task.h"
 #include "src/base/types.h"
 #include "src/trace/trace.h"
 
@@ -36,11 +36,12 @@ class Engine {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at Now() + delay. Returns an id usable with
-  // Cancel(). Callbacks may schedule further events freely.
-  EventId Schedule(SimTime delay, std::function<void()> fn);
+  // Cancel(). Callbacks may schedule further events freely. Task keeps hot
+  // closures (delivery frames, message views) inline — no heap per event.
+  EventId Schedule(SimTime delay, Task fn);
 
   // Schedules at an absolute time (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, Task fn);
 
   // Cancels a pending event. Cancelling an already-fired or unknown id is a
   // no-op (the common pattern: timers that usually fire).
@@ -76,10 +77,13 @@ class Engine {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  // The heap holds only POD keys; callables live in a slab addressed by
+  // slot index. Heap shuffles therefore move 24-byte entries instead of
+  // relocating whole Tasks (whose inline buffers are deliberately large).
   struct Event {
     SimTime when;
     EventId id;
-    std::function<void()> fn;
+    uint32_t slot;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -98,6 +102,8 @@ class Engine {
   bool stop_requested_ = false;
   Tracer* tracer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Task> slots_;         // slab of pending callables
+  std::vector<uint32_t> free_slots_;
   std::vector<EventId> cancelled_;  // sorted lazily; small in practice
 };
 

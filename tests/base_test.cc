@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "src/base/codec.h"
+#include "src/base/task.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/types.h"
@@ -136,6 +139,104 @@ TEST(Rng, ForkedStreamsDiffer) {
   Rng a = parent.Fork(1);
   Rng b = parent.Fork(2);
   EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(ByteView, ViewsWithoutCopying) {
+  Bytes owned{1, 2, 3, 4, 5};
+  ByteView v(owned);  // implicit from Bytes
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.data(), owned.data());
+  EXPECT_EQ(v[2], 3);
+  ByteView sub = v.subview(1, 3);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.data(), owned.data() + 1);
+  EXPECT_EQ(sub.ToBytes(), (Bytes{2, 3, 4}));
+  EXPECT_TRUE(v == ByteView(owned));
+  EXPECT_FALSE(v == sub);
+}
+
+TEST(ByteView, ReaderBlobViewIsZeroCopy) {
+  ByteWriter w;
+  w.U32(7);
+  w.Blob(Bytes{9, 8, 7});
+  Bytes encoded = w.Take();
+  ByteReader r(encoded);
+  EXPECT_EQ(r.U32(), 7u);
+  ByteView body = r.BlobView();
+  EXPECT_EQ(body.size(), 3u);
+  EXPECT_GE(body.data(), encoded.data());
+  EXPECT_LT(body.data(), encoded.data() + encoded.size());
+  EXPECT_EQ(body.ToBytes(), (Bytes{9, 8, 7}));
+}
+
+TEST(BufferPool, RecyclesCapacityThroughPayloads) {
+  BufferPool& pool = BufferPool::Get();
+  uint64_t reuses0 = pool.reuses();
+  const uint8_t* data0;
+  {
+    Bytes b = pool.Acquire();
+    b.assign(1000, 42);
+    data0 = b.data();
+    PayloadPtr p = MakePayload(std::move(b));
+    EXPECT_EQ(p->size(), 1000u);
+    // Dropping the last reference returns the buffer to the pool.
+  }
+  Bytes again = pool.Acquire();
+  EXPECT_EQ(pool.reuses(), reuses0 + 1);
+  EXPECT_TRUE(again.empty());          // cleared, but capacity retained
+  EXPECT_GE(again.capacity(), 1000u);
+  EXPECT_EQ(again.data(), data0);      // the very same allocation came back
+  pool.Release(std::move(again));
+}
+
+TEST(BufferPool, WriterDrawsFromThePool) {
+  {
+    ByteWriter warm;
+    warm.Blob(Bytes(2000, 1));
+    PayloadPtr p = MakePayload(warm.Take());
+  }
+  BufferPool& pool = BufferPool::Get();
+  uint64_t reuses0 = pool.reuses();
+  ByteWriter w;  // default ctor acquires from the pool
+  EXPECT_EQ(pool.reuses(), reuses0 + 1);
+  w.U32(5);
+  Bytes out = w.Take();
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Task, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  Task small([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // Force the heap path with a capture larger than the inline buffer.
+  struct Big {
+    unsigned char pad[Task::kInlineBytes + 32] = {};
+    int* counter = nullptr;
+  };
+  Big big;
+  big.counter = &hits;
+  Task large([big] { ++*big.counter; });
+  large();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Task, MoveTransfersOwnershipExactlyOnce) {
+  auto counted = std::make_shared<int>(0);
+  Task a([counted] { ++*counted; });
+  EXPECT_EQ(counted.use_count(), 2);  // one in the task
+  Task b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(counted.use_count(), 2);  // still exactly one task-held copy
+  b();
+  EXPECT_EQ(*counted, 1);
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counted, 2);
+  EXPECT_DEATH(b(), "empty Task");
 }
 
 }  // namespace

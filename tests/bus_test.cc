@@ -46,7 +46,7 @@ TEST(Bus, MulticastReachesExactlyTheTargets) {
   ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
   EXPECT_TRUE(f.endpoints[2].frames.empty());
   ASSERT_EQ(f.endpoints[3].frames.size(), 1u);
-  EXPECT_EQ(f.endpoints[1].frames[0].payload, Bytes{42});
+  EXPECT_EQ(*f.endpoints[1].frames[0].payload, Bytes{42});
   EXPECT_EQ(f.bus.stats().frames_sent, 1u);
   EXPECT_EQ(f.bus.stats().deliveries, 2u);
 }
@@ -70,7 +70,7 @@ TEST(Bus, NoInterleaving) {
   for (ClusterId c = 0; c < 4; ++c) {
     ASSERT_EQ(f.endpoints[c].frames.size(), 10u);
     for (uint8_t i = 0; i < 10; ++i) {
-      EXPECT_EQ(f.endpoints[c].frames[i].payload[0], i) << "cluster " << c;
+      EXPECT_EQ((*f.endpoints[c].frames[i].payload)[0], i) << "cluster " << c;
     }
   }
 }
@@ -161,6 +161,61 @@ TEST(Bus, InjectedInterleavingBreaksSameInstantDelivery) {
     diverged = f.endpoints[1].times.back() != f.endpoints[2].times.back();
   }
   EXPECT_TRUE(diverged);
+}
+
+TEST(Bus, AllDestinationsShareOnePayloadBuffer) {
+  // Zero-copy plane (DESIGN.md §13): the three delivery legs of one frame
+  // must see the *same* payload buffer — delivery allocates nothing per
+  // destination.
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(2) | MaskOf(3), Bytes(100, 5));
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  ASSERT_EQ(f.endpoints[2].frames.size(), 1u);
+  ASSERT_EQ(f.endpoints[3].frames.size(), 1u);
+  const Bytes* p = f.endpoints[1].frames[0].payload.get();
+  EXPECT_EQ(f.endpoints[2].frames[0].payload.get(), p);
+  EXPECT_EQ(f.endpoints[3].frames[0].payload.get(), p);
+}
+
+TEST(Bus, InterleaveViolationStillSharesThePayload) {
+  // The violation path schedules one jittered closure per destination; each
+  // closure copies the Frame header but must share the payload buffer, so
+  // allocation stays O(1) in the destination count.
+  BusFixture f;
+  f.bus.InjectAtomicityViolation(AtomicityViolation::kInterleave, 1.0, 11);
+  f.bus.Transmit(0, MaskOf(1) | MaskOf(2) | MaskOf(3), Bytes(100, 9));
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  ASSERT_EQ(f.endpoints[2].frames.size(), 1u);
+  ASSERT_EQ(f.endpoints[3].frames.size(), 1u);
+  const Bytes* p = f.endpoints[1].frames[0].payload.get();
+  EXPECT_EQ(f.endpoints[2].frames[0].payload.get(), p);
+  EXPECT_EQ(f.endpoints[3].frames[0].payload.get(), p);
+}
+
+TEST(Bus, FailoverWaitAccountedSeparatelyFromBusyTime) {
+  // §E6 accounting: the line is idle while the sender waits out the dead-
+  // line timeout, so that wait must not inflate transmit-busy time.
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1), Bytes(16, 0));
+  f.engine.Run();
+  SimTime frame_time = f.config.FrameTime(16 + Frame::kHeaderBytes);
+  EXPECT_EQ(f.bus.stats().busy_us, frame_time);
+  EXPECT_EQ(f.bus.stats().failover_wait_us, 0u);
+
+  BusFixture g;
+  g.bus.FailLine(0);
+  g.bus.Transmit(0, MaskOf(1), Bytes(16, 0));
+  g.engine.Run();
+  // Same transmit-busy time as the healthy run; the timeout shows up only
+  // in failover_wait_us (and in the delivery timestamp).
+  EXPECT_EQ(g.bus.stats().busy_us, frame_time);
+  EXPECT_EQ(g.bus.stats().failover_wait_us, g.config.line_failover_timeout_us);
+  EXPECT_EQ(g.bus.stats().failovers, 1u);
+  ASSERT_EQ(g.endpoints[1].times.size(), 1u);
+  EXPECT_EQ(g.endpoints[1].times[0],
+            f.endpoints[1].times[0] + g.config.line_failover_timeout_us);
 }
 
 TEST(Bus, RejectsBadClusterCounts) {

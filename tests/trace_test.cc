@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/avm/assembler.h"
+#include "src/machine/machine.h"
 #include "src/trace/analysis.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/trace.h"
@@ -185,6 +187,100 @@ TEST(Trace, HistogramBucketsAndStats) {
   EXPECT_NE(s.find("count=3"), std::string::npos);
   // 1000us lands in the [512,1024) bucket.
   EXPECT_NE(s.find("[512,1024):1"), std::string::npos);
+}
+
+// --- delivery-latency metric semantics ---
+//
+// delivery_latency_samples/_us_total feed the E1 latency analysis; these
+// tests pin down what a "sample" is: one per non-heartbeat frame arrival at
+// an alive endpoint, measured bus-accept to arrival.
+
+MachineOptions LatencyOptions() {
+  MachineOptions options;
+  options.config.num_clusters = 2;
+  return options;
+}
+
+Executable CrossClusterHello() {
+  return MustAssemble(R"(
+start:
+    li r1, 2          ; tty fd
+    li r2, msg
+    li r3, 13
+    sys write
+    exit 0
+.data
+msg: .ascii "hello, world\n"
+)");
+}
+
+void RunHello(Machine& machine) {
+  Machine::UserSpawnOptions opts;
+  opts.with_tty = true;
+  opts.backup_cluster = 0;
+  // Spawned away from the tty/file servers (cluster 0) so every syscall
+  // round-trip crosses the bus.
+  machine.SpawnUserProgram(1, CrossClusterHello(), opts);
+  ASSERT_TRUE(machine.RunUntilAllExited(5'000'000)) << "program did not exit";
+  machine.Settle();
+}
+
+TEST(DeliveryLatency, HeartbeatsAreNotSampled) {
+  Machine machine(LatencyOptions());
+  machine.Boot();
+  machine.Settle();
+  uint64_t samples0 = machine.metrics().delivery_latency_samples;
+  uint64_t frames0 = machine.bus().stats().frames_sent;
+  // Idle machine: the only bus traffic is heartbeat polling (§7.10), which
+  // the bus interface handles without entering the delivery path.
+  machine.Run(2'000'000);
+  EXPECT_GT(machine.bus().stats().frames_sent, frames0);
+  EXPECT_EQ(machine.metrics().delivery_latency_samples, samples0);
+}
+
+TEST(DeliveryLatency, FailoverFramesSampledOnceWithTimeoutIncluded) {
+  Machine normal(LatencyOptions());
+  normal.Boot();
+  uint64_t normal_base = normal.metrics().delivery_latency_samples;
+  RunHello(normal);
+  uint64_t normal_samples = normal.metrics().delivery_latency_samples - normal_base;
+  EXPECT_GT(normal_samples, 0u);
+
+  Machine failed(LatencyOptions());
+  failed.Boot();
+  failed.bus().FailLine(0);
+  uint64_t failed_base = failed.metrics().delivery_latency_samples;
+  RunHello(failed);
+  uint64_t failed_samples = failed.metrics().delivery_latency_samples - failed_base;
+
+  // A failed-over frame is still one frame: exactly as many samples as the
+  // healthy run, never a second count for the retry on line 1.
+  EXPECT_EQ(failed_samples, normal_samples);
+  // But its latency carries the dead-line timeout, so the mean must rise.
+  double normal_mean = static_cast<double>(normal.metrics().delivery_latency_us_total) /
+                       static_cast<double>(normal.metrics().delivery_latency_samples);
+  double failed_mean = static_cast<double>(failed.metrics().delivery_latency_us_total) /
+                       static_cast<double>(failed.metrics().delivery_latency_samples);
+  EXPECT_GT(failed_mean, normal_mean);
+}
+
+TEST(DeliveryLatency, InterleaveViolationSamplesMatchNormalPath) {
+  Machine normal(LatencyOptions());
+  normal.Boot();
+  uint64_t normal_base = normal.metrics().delivery_latency_samples;
+  RunHello(normal);
+  uint64_t normal_samples = normal.metrics().delivery_latency_samples - normal_base;
+
+  Machine skewed(LatencyOptions());
+  skewed.Boot();
+  skewed.bus().InjectAtomicityViolation(AtomicityViolation::kInterleave, 1.0, 13);
+  uint64_t skewed_base = skewed.metrics().delivery_latency_samples;
+  RunHello(skewed);
+  uint64_t skewed_samples = skewed.metrics().delivery_latency_samples - skewed_base;
+
+  // The interleave fault skews per-destination timing but delivers every
+  // copy, so the sample count must agree with the normal path.
+  EXPECT_EQ(skewed_samples, normal_samples);
 }
 
 }  // namespace
