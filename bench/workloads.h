@@ -115,6 +115,59 @@ buf: .word 0
 )");
 }
 
+// StatefulWorker with a primed resident footprint: touches `cold` pages once
+// at startup (at 0xA000), then dirties only `hot` pages (at 0x6000) per
+// round. Separates sync modes that ship the whole resident set from
+// dirty-only ones: after the first sync the cold pages are clean but still
+// resident.
+inline Executable WideStatefulWorker(const std::string& tag, int rounds, int spin,
+                                     int hot, int cold) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(3 + tag.size()) + R"(
+    sys open
+    mov r10, r0
+    ; prime the cold footprint once
+    li r5, 0
+    li r6, 0xA000
+prime:
+    st r5, r6, 0
+    addi r6, r6, 256
+    addi r5, r5, 1
+    li r11, )" + std::to_string(cold) + R"(
+    blt r5, r11, prime
+    li r8, 0           ; round
+rounds:
+    li r9, 0
+spin:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(spin) + R"(
+    blt r9, r11, spin
+    ; dirty `hot` pages, 256 bytes apart
+    li r5, 0
+    li r6, 0x6000
+touch:
+    st r8, r6, 0
+    addi r6, r6, 256
+    addi r5, r5, 1
+    li r11, )" + std::to_string(hot) + R"(
+    blt r5, r11, touch
+    ; one read per round (feeder supplies)
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    addi r8, r8, 1
+    li r11, )" + std::to_string(rounds) + R"(
+    blt r8, r11, rounds
+    exit 0
+.data
+name: .ascii "ch:)" + tag + R"("
+buf: .word 0
+)");
+}
+
 // Feeder for StatefulWorker: sends `rounds` ticks then exits.
 inline Executable Feeder(const std::string& tag, int rounds, int pace = 500) {
   return MustAssemble(R"(

@@ -6,7 +6,7 @@
 namespace auragen {
 
 GuestMemory::GuestMemory()
-    : pages_(kAvmNumPages), resident_(kAvmNumPages, false), dirty_(kAvmNumPages, false) {}
+    : pages_(kAvmNumPages), resident_(kAvmNumPages, false), dirty_gen_(kAvmNumPages, 0) {}
 
 GuestMemory::Access GuestMemory::ReadRange(uint32_t addr, uint32_t len, Bytes* out) {
   Access a = Require(addr, len);
@@ -38,7 +38,7 @@ GuestMemory::Access GuestMemory::WriteRange(uint32_t addr, const Bytes& data) {
     uint32_t off = byte_addr % kAvmPageBytes;
     uint32_t chunk = std::min(len - done, kAvmPageBytes - off);
     std::memcpy(pages_[p].data() + off, data.data() + done, chunk);
-    dirty_[p] = true;
+    dirty_gen_[p] = write_gen_;
     done += chunk;
   }
   return Access::kOk;
@@ -49,19 +49,19 @@ void GuestMemory::InstallPage(PageNum page, const Bytes& content) {
   AURAGEN_CHECK(content.size() == kAvmPageBytes) << "bad page size" << content.size();
   pages_[page] = content;
   resident_[page] = true;
-  dirty_[page] = false;
+  dirty_gen_[page] = 0;
 }
 
 void GuestMemory::InstallPageDirty(PageNum page, const Bytes& content) {
   InstallPage(page, content);
-  dirty_[page] = true;
+  dirty_gen_[page] = write_gen_;
 }
 
 void GuestMemory::MaterializeZero(PageNum page, bool dirty) {
   AURAGEN_CHECK(page < kAvmNumPages);
   pages_[page].assign(kAvmPageBytes, 0);
   resident_[page] = true;
-  dirty_[page] = dirty;
+  dirty_gen_[page] = dirty ? write_gen_ : 0;
 }
 
 Bytes GuestMemory::ExtractPage(PageNum page) const {
@@ -73,7 +73,7 @@ Bytes GuestMemory::ExtractPage(PageNum page) const {
 std::vector<PageNum> GuestMemory::DirtyPages() const {
   std::vector<PageNum> out;
   for (PageNum p = 0; p < kAvmNumPages; ++p) {
-    if (dirty_[p]) {
+    if (Dirty(p)) {
       out.push_back(p);
     }
   }
@@ -83,19 +83,38 @@ std::vector<PageNum> GuestMemory::DirtyPages() const {
 uint32_t GuestMemory::DirtyCount() const {
   uint32_t n = 0;
   for (PageNum p = 0; p < kAvmNumPages; ++p) {
-    n += dirty_[p] ? 1u : 0u;
+    n += Dirty(p) ? 1u : 0u;
   }
   return n;
 }
 
-void GuestMemory::ClearAllDirty() { dirty_.assign(kAvmNumPages, false); }
+void GuestMemory::ClearAllDirty() {
+  // Commit the current generation as flushed and open a new one, so pages
+  // written from here on read as dirty again.
+  flushed_gen_ = write_gen_;
+  ++write_gen_;
+}
+
+std::vector<std::pair<PageNum, Bytes>> GuestMemory::CaptureFlushPages(bool full) {
+  std::vector<std::pair<PageNum, Bytes>> out;
+  for (PageNum p = 0; p < kAvmNumPages; ++p) {
+    if (!resident_[p]) {
+      continue;
+    }
+    if (full || Dirty(p)) {
+      out.emplace_back(p, pages_[p]);
+    }
+  }
+  ClearAllDirty();
+  return out;
+}
 
 void GuestMemory::EvictAll() {
   for (PageNum p = 0; p < kAvmNumPages; ++p) {
     pages_[p].clear();
     pages_[p].shrink_to_fit();
     resident_[p] = false;
-    dirty_[p] = false;
+    dirty_gen_[p] = 0;
   }
 }
 

@@ -14,6 +14,7 @@
 #define AURAGEN_SRC_AVM_MEMORY_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/base/check.h"
@@ -59,11 +60,25 @@ class GuestMemory {
   Bytes ExtractPage(PageNum page) const;
 
   bool Resident(PageNum page) const { return resident_[page]; }
-  bool Dirty(PageNum page) const { return dirty_[page]; }
+  // Dirty = written since the last flush capture (generation newer than the
+  // last one flushed).
+  bool Dirty(PageNum page) const { return dirty_gen_[page] > flushed_gen_; }
   std::vector<PageNum> DirtyPages() const;
   uint32_t DirtyCount() const;
-  void ClearDirty(PageNum page) { dirty_[page] = false; }
+  void ClearDirty(PageNum page) { dirty_gen_[page] = 0; }
   void ClearAllDirty();
+
+  // Copy-on-write flush capture: snapshots every page dirtied since the
+  // previous capture (or every resident page when `full`), then advances
+  // the dirty generation. Writes landing after the capture stamp the new
+  // generation, so they belong to the *next* increment even while the
+  // returned snapshots are still draining to the page server.
+  std::vector<std::pair<PageNum, Bytes>> CaptureFlushPages(bool full);
+
+  // Generation introspection (tests / diagnostics).
+  uint32_t write_generation() const { return write_gen_; }
+  uint32_t flushed_generation() const { return flushed_gen_; }
+  uint32_t page_generation(PageNum page) const { return dirty_gen_[page]; }
 
   // Drops every page (recovery: the backup begins with an empty resident
   // set, §7.10.2). Content is discarded — it must come back from the page
@@ -77,7 +92,13 @@ class GuestMemory {
 
   std::vector<Bytes> pages_;     // page -> kAvmPageBytes content (or empty)
   std::vector<bool> resident_;
-  std::vector<bool> dirty_;
+  // Per-page dirty generation: the value of write_gen_ at the page's most
+  // recent write (0 = never written / explicitly cleaned). A page is dirty
+  // when its generation is newer than flushed_gen_, the generation covered
+  // by the last flush capture.
+  std::vector<uint32_t> dirty_gen_;
+  uint32_t write_gen_ = 1;
+  uint32_t flushed_gen_ = 0;
   PageNum fault_page_ = 0;
 };
 
@@ -138,7 +159,7 @@ inline GuestMemory::Access GuestMemory::Write8(uint32_t addr, uint8_t value) {
   }
   PageNum p = PageOf(addr);
   pages_[p][addr % kAvmPageBytes] = value;
-  dirty_[p] = true;
+  dirty_gen_[p] = write_gen_;
   return Access::kOk;
 }
 
@@ -155,14 +176,14 @@ inline GuestMemory::Access GuestMemory::Write32(uint32_t addr, uint32_t value) {
     b[1] = static_cast<uint8_t>(value >> 8);
     b[2] = static_cast<uint8_t>(value >> 16);
     b[3] = static_cast<uint8_t>(value >> 24);
-    dirty_[p] = true;
+    dirty_gen_[p] = write_gen_;
     return Access::kOk;
   }
   for (uint32_t i = 0; i < 4; ++i) {
     uint32_t byte_addr = addr + i;
     PageNum p = PageOf(byte_addr);
     pages_[p][byte_addr % kAvmPageBytes] = static_cast<uint8_t>(value >> (8 * i));
-    dirty_[p] = true;
+    dirty_gen_[p] = write_gen_;
   }
   return Access::kOk;
 }

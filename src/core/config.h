@@ -7,6 +7,7 @@
 #define AURAGEN_SRC_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/base/types.h"
 #include "src/bus/intercluster_bus.h"
@@ -37,6 +38,74 @@ inline const char* FtStrategyName(FtStrategy s) {
   return "?";
 }
 
+// How dirty pages travel to the page server at a sync (§5.2, §8.3).
+enum class SyncMode : uint8_t {
+  // Ship every resident page synchronously at each sync: the classic
+  // checkpoint transfer the incremental pipeline is measured against.
+  kStopAndCopy,
+  // Ship only pages dirtied since the last flush, synchronously: the
+  // primary stalls for build + per-page enqueue time (§8.3).
+  kIncremental,
+  // Ship only pages dirtied since the last acknowledged flush, and let the
+  // primary resume after the record is built: copy-on-write snapshots drain
+  // to the outgoing queue from the executive while the process runs.
+  kIncrementalAsync,
+};
+
+inline const char* SyncModeName(SyncMode m) {
+  switch (m) {
+    case SyncMode::kStopAndCopy: return "stop-and-copy";
+    case SyncMode::kIncremental: return "incremental";
+    case SyncMode::kIncrementalAsync: return "incremental-async";
+  }
+  return "?";
+}
+
+// Typed configuration for the sync pipeline. Replaces growing SystemConfig
+// with more loose scalars: the mode, drain pacing, and the adaptive-trigger
+// bounds travel together and are validated as a unit at Machine::Boot().
+struct SyncPolicy {
+  SyncMode mode = SyncMode::kIncremental;
+
+  // kIncrementalAsync: pages enqueued per executive drain step. Smaller
+  // batches interleave more with regular outgoing traffic; larger batches
+  // finish the flush sooner.
+  uint32_t drain_batch_pages = 8;
+
+  // Adaptive trigger (§7.8 lets the trigger be set per process; this moves
+  // it automatically). After each flush the effective time limit halves
+  // when the flush captured more than `dirty_high` pages and grows 2x when
+  // it captured fewer than `dirty_low`, clamped to [min,max].
+  bool adaptive = false;
+  SimTime adaptive_min_time_us = 2000;
+  SimTime adaptive_max_time_us = 80000;
+  uint32_t adaptive_dirty_high = 24;
+  uint32_t adaptive_dirty_low = 4;
+
+  // Empty string = valid; otherwise a diagnostic naming the bad field.
+  std::string Validate() const {
+    if (mode != SyncMode::kStopAndCopy && mode != SyncMode::kIncremental &&
+        mode != SyncMode::kIncrementalAsync) {
+      return "SyncPolicy.mode is not a known SyncMode";
+    }
+    if (drain_batch_pages == 0) {
+      return "SyncPolicy.drain_batch_pages must be >= 1";
+    }
+    if (adaptive) {
+      if (adaptive_min_time_us == 0) {
+        return "SyncPolicy.adaptive_min_time_us must be > 0";
+      }
+      if (adaptive_min_time_us > adaptive_max_time_us) {
+        return "SyncPolicy.adaptive_min_time_us exceeds adaptive_max_time_us";
+      }
+      if (adaptive_dirty_low >= adaptive_dirty_high) {
+        return "SyncPolicy.adaptive_dirty_low must be < adaptive_dirty_high";
+      }
+    }
+    return "";
+  }
+};
+
 struct SystemConfig {
   uint32_t num_clusters = 2;
   uint32_t work_processors_per_cluster = 2;   // §7.1
@@ -61,6 +130,15 @@ struct SystemConfig {
   // the sync message on the outgoing queue").
   SimTime sync_page_enqueue_us = 2;
   SimTime sync_build_us = 10;
+  // How dirty pages travel at a sync (mode + drain pacing + adaptive
+  // trigger bounds); see SyncPolicy above.
+  SyncPolicy sync_policy;
+
+  // Page-server shards (§7.9 scaled out): backup images for processes born
+  // on different clusters land on different page-server instances, so
+  // recovery paging does not converge on a single hot cluster. Shard choice
+  // is pid.origin_cluster() % page_shards — stable across primary moves.
+  uint32_t page_shards = 1;
 
   // --- failure detection (§7.10: periodic polling) ---
   SimTime heartbeat_period_us = 5000;

@@ -288,8 +288,11 @@ void Kernel::RebuildLostBackup(Pcb& pcb) {
   // Order matters: the sync ships dirty pages and stages the page server's
   // backup account (§7.8 atomicity), so the context the create carries and
   // the page account a future rollforward reads agree. Both captures see the
-  // same quiescent state, so the create's context matches the sync's.
-  ForceSync(pcb, /*signal_forced=*/false);
+  // same quiescent state, so the create's context matches the sync's. The
+  // flush must be synchronous: an async drain would let the create (sent
+  // below) overtake the record, and the new backup would trim its saved
+  // queues twice.
+  ForceSync(pcb, /*signal_forced=*/false, /*force_synchronous=*/true);
   CreateReplacementBackup(pcb, CaptureKernelContext(pcb));
   pcb.backup_exists = true;
 }

@@ -284,6 +284,7 @@ void Kernel::CrashNow() {
   outgoing_.clear();
   exec_queue_.clear();
   ready_.clear();
+  ResetFlushPipeline();
 }
 
 void Kernel::Restart() {
@@ -302,6 +303,7 @@ void Kernel::Restart() {
   idle_workers_ = env_.config().work_processors_per_cluster;
   next_arrival_seq_ = 1;
   page_waiters_.clear();
+  ResetFlushPipeline();
   for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
     last_heartbeat_[c] = env_.engine().Now();
   }
@@ -334,7 +336,8 @@ size_t Kernel::num_live_processes() const {
 }
 
 bool Kernel::Quiescent() const {
-  return ready_.empty() && outgoing_.empty() && exec_queue_.empty();
+  return ready_.empty() && outgoing_.empty() && exec_queue_.empty() &&
+         flush_queue_.empty();
 }
 
 }  // namespace auragen

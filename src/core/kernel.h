@@ -194,8 +194,42 @@ class Kernel : public BusEndpoint {
   // ---- sync (sync.cc) ----
   void MaybeTriggerSync(Pcb& pcb);
   bool CanSyncNow(const Pcb& pcb) const;
-  void ForceSync(Pcb& pcb, bool signal_forced);
+  // `force_synchronous` overrides SyncMode::kIncrementalAsync: the record
+  // and every page go on the outgoing queue before this returns. Crash
+  // paths need it — replacement-backup creation must follow its sync record
+  // immediately (§7.10.1), with no drain in between.
+  void ForceSync(Pcb& pcb, bool signal_forced, bool force_synchronous = false);
   void ApplySyncAtBackup(const SyncRecord& record);
+  // Adaptive trigger (SyncPolicy.adaptive): retune the process's effective
+  // time limit from the dirty-page count the flush just observed.
+  void RetuneSyncTrigger(Pcb& pcb, size_t flushed_pages);
+  // Effective sync trigger limits for `pcb` (per-process override, else
+  // system default; time limit further moved by the adaptive trigger).
+  uint32_t SyncReadsLimit(const Pcb& pcb) const;
+  SimTime SyncTimeLimit(const Pcb& pcb) const;
+
+  // ---- async flush drain (sync.cc) ----
+  // A copy-on-write flush parked on the per-kernel drain queue (§8.3: "the
+  // primary continues … with the sync message on the outgoing queue"). The
+  // executive enqueues the snapshots batch by batch and finishes with the
+  // sync record, so per-process FIFO ordering — pages, then record, after
+  // every message the record's counters cover — is preserved.
+  struct FlushJob {
+    Gpid pid;
+    SimTime started_at = 0;
+    std::vector<std::pair<PageNum, Bytes>> pages;
+    size_t next_page = 0;
+    SyncRecord record;
+    bool cancelled = false;  // process exited mid-drain
+  };
+  // Enqueues the kSync multicast (backup cluster + page shard + its backup).
+  void SendSyncRecord(const SyncRecord& record, RoutingEntry* page_entry);
+  void StartFlushDrain();
+  void ScheduleFlushStep();
+  void FlushStep(uint64_t epoch, uint32_t batch, SimTime cost);
+  void CompleteFlushJob(FlushJob& job);
+  void CancelFlushJobs(Gpid pid);
+  void ResetFlushPipeline();  // crash/restart: in-flight flushes die
   // Checkpoint baselines (§2) replace ForceSync when configured.
   void ForceCheckpoint(Pcb& pcb);
   void ApplyCheckpointAtBackup(const MsgView& msg);
@@ -210,8 +244,13 @@ class Kernel : public BusEndpoint {
   void HandlePageFault(Pcb& pcb, PageNum page);
   void HandlePageReply(const PageReplyBody& reply);
   void ReissuePageRequests();
-  // The kernel's own channel to the page server (fabricated at boot).
-  RoutingEntry* KernelPageEntry();
+  // The kernel's own channel to a page-server shard (fabricated at boot,
+  // one per shard). A process's pages always go to the shard keyed by its
+  // origin cluster, which never changes — so the backup account is found
+  // at the same shard after any number of takeovers.
+  RoutingEntry* KernelPageEntry(uint32_t shard = 0);
+  RoutingEntry* KernelPageEntryFor(Gpid pid);
+  uint32_t PageShardOf(Gpid pid) const;
   // Sends on a kernel-owned channel (no Pcb, no suppression — kernels are
   // not backed up, §7.2).
   void SendKernelChannel(RoutingEntry& entry, MsgKind kind, Bytes body);
@@ -311,6 +350,13 @@ class Kernel : public BusEndpoint {
   // Outstanding page requests: cookie -> waiting pid.
   std::map<uint64_t, Gpid> page_waiters_;
   uint64_t next_cookie_ = 1;
+
+  // Async flush drain (SyncMode::kIncrementalAsync). Jobs drain in FIFO
+  // order on the executive; the epoch invalidates steps scheduled before a
+  // crash or restart wiped the queue.
+  std::deque<FlushJob> flush_queue_;
+  bool flush_draining_ = false;
+  uint64_t flush_epoch_ = 0;
 
   // Birth notices by parent (§7.7), kept independent of BackupPcb existence:
   // a parent re-created by its own parent's replayed fork still needs them.

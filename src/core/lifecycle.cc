@@ -392,6 +392,13 @@ void Kernel::SysExit(Pcb& pcb, int32_t status) {
 void Kernel::DestroyProcess(Pcb& pcb, int32_t status) {
   Gpid pid = pcb.pid;
   pcb.state = ProcState::kExited;
+  if (pcb.flush_in_flight) {
+    // A draining flush must not deliver its record after the exit notice:
+    // the backup would be dismantled and then resurrected by the record.
+    CancelFlushJobs(pid);
+    pcb.flush_in_flight = false;
+    pcb.flush_window_writes.clear();
+  }
   if (pcb.needs_rebackup) {
     // Exiting before the lost backup could be rebuilt: peers froze this
     // process's channels at crash handling and must not wait forever.

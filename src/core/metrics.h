@@ -26,6 +26,17 @@ struct Metrics {
   uint64_t sync_pages_shipped = 0;
   uint64_t sync_bytes_shipped = 0;
   SimTime sync_primary_stall_us = 0;   // time the primary was held up (§8.3)
+  // The stall split (the pipeline's cost model): record construction vs
+  // synchronous page enqueueing; plus drain work done on the executive
+  // while the primary kept running (incremental+async only).
+  SimTime sync_build_stall_us = 0;     // record construction (sync_build_us)
+  SimTime sync_enqueue_stall_us = 0;   // inline page enqueues (primary held)
+  SimTime sync_drain_async_us = 0;     // executive drain steps (primary runs)
+  SimTime sync_flush_overlap_us = 0;   // flush-begin to record-on-queue time
+  uint64_t sync_flushes_async = 0;     // flushes drained asynchronously
+  uint64_t syncs_deferred_drain = 0;   // triggers deferred: flush in flight
+  uint64_t sync_adaptive_tighten = 0;  // adaptive trigger halved the limit
+  uint64_t sync_adaptive_loosen = 0;   // adaptive trigger doubled the limit
   uint64_t forced_signal_syncs = 0;    // syncs forced by signal delivery (§8.3)
   uint64_t backup_msgs_trimmed = 0;    // saved messages discarded by sync
 

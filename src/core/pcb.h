@@ -112,6 +112,15 @@ struct Pcb {
   bool ever_synced = false;
   uint32_t sync_reads_limit = 0;    // 0: use system default
   SimTime sync_time_limit_us = 0;
+  // Adaptive trigger (SyncPolicy.adaptive): the effective time limit, moved
+  // after each flush by the observed dirty-page count. 0 until first tuned.
+  SimTime adaptive_time_limit_us = 0;
+  // Async flush (§8.3): a copy-on-write flush for this process is still
+  // draining to the outgoing queue. New sync triggers are deferred, and
+  // counted sends are tallied per channel so the eventual sync record can
+  // carry the backup's remaining duplicate-suppression budget (§5.4).
+  bool flush_in_flight = false;
+  std::map<uint64_t, uint32_t> flush_window_writes;
 
   // Signals (§7.5.2).
   uint32_t sig_handler = 0;         // 0 = ignore

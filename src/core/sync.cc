@@ -4,19 +4,36 @@
 
 #include "src/core/kernel.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 #include "src/kernel/avm_body.h"
 #include "src/servers/protocol.h"
 
 namespace auragen {
 
-RoutingEntry* Kernel::KernelPageEntry() {
+RoutingEntry* Kernel::KernelPageEntry(uint32_t shard) {
   for (RoutingEntry* e : routing_.EntriesOf(kernel_pid_, /*backup=*/false)) {
-    if (e->binding_tag == kBindPageChannel) {
+    if (e->binding_tag == kBindPageChannel + shard) {
       return e;
     }
   }
   return nullptr;
+}
+
+uint32_t Kernel::PageShardOf(Gpid pid) const {
+  uint32_t shards = env_.config().page_shards;
+  if (shards <= 1) {
+    return 0;
+  }
+  // Keyed by origin cluster, which is burned into the pid: the shard
+  // holding a process's account stays the same across takeovers, so a
+  // recovering backup demand-faults against the right instance (§7.10.2).
+  return pid.origin_cluster() % shards;
+}
+
+RoutingEntry* Kernel::KernelPageEntryFor(Gpid pid) {
+  return KernelPageEntry(PageShardOf(pid));
 }
 
 void Kernel::SendKernelChannel(RoutingEntry& entry, MsgKind kind, Bytes body) {
@@ -35,6 +52,12 @@ void Kernel::SendKernelChannel(RoutingEntry& entry, MsgKind kind, Bytes body) {
 bool Kernel::CanSyncNow(const Pcb& pcb) const {
   if (pcb.backup_cluster == kNoCluster || pcb.peripheral ||
       pcb.state == ProcState::kExited) {
+    return false;
+  }
+  if (pcb.flush_in_flight) {
+    // The previous flush is still draining; syncing again would interleave
+    // two increments' pages ahead of the first record. Deferred until the
+    // drain acknowledges (CompleteFlushJob re-checks the triggers).
     return false;
   }
   if (!pcb.body->SyncReady()) {
@@ -67,15 +90,17 @@ void Kernel::MaybeTriggerSync(Pcb& pcb) {
     RebuildLostBackup(pcb);
   }
   const SystemConfig& cfg = env_.config();
-  uint32_t reads_limit = pcb.sync_reads_limit != 0 ? pcb.sync_reads_limit : cfg.sync_reads_limit;
-  SimTime time_limit = pcb.sync_time_limit_us != 0 ? pcb.sync_time_limit_us
-                                                   : cfg.sync_time_limit_us;
-  bool due = pcb.reads_since_sync >= reads_limit || pcb.exec_us_since_sync >= time_limit;
+  bool due = pcb.reads_since_sync >= SyncReadsLimit(pcb) ||
+             pcb.exec_us_since_sync >= SyncTimeLimit(pcb);
   if (!due) {
     return;
   }
   switch (cfg.strategy) {
     case FtStrategy::kMessageSystem:
+      if (pcb.flush_in_flight) {
+        env_.metrics().syncs_deferred_drain++;
+        break;
+      }
       if (CanSyncNow(pcb)) {
         ForceSync(pcb, /*signal_forced=*/false);
       }
@@ -91,37 +116,93 @@ void Kernel::MaybeTriggerSync(Pcb& pcb) {
   }
 }
 
-void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
+uint32_t Kernel::SyncReadsLimit(const Pcb& pcb) const {
+  return pcb.sync_reads_limit != 0 ? pcb.sync_reads_limit
+                                   : env_.config().sync_reads_limit;
+}
+
+SimTime Kernel::SyncTimeLimit(const Pcb& pcb) const {
+  if (env_.config().sync_policy.adaptive && pcb.adaptive_time_limit_us != 0) {
+    return pcb.adaptive_time_limit_us;
+  }
+  return pcb.sync_time_limit_us != 0 ? pcb.sync_time_limit_us
+                                     : env_.config().sync_time_limit_us;
+}
+
+void Kernel::RetuneSyncTrigger(Pcb& pcb, size_t flushed_pages) {
+  const SyncPolicy& policy = env_.config().sync_policy;
+  if (!policy.adaptive) {
+    return;
+  }
+  SimTime cur = SyncTimeLimit(pcb);
+  SimTime next = cur;
+  if (flushed_pages >= policy.adaptive_dirty_high) {
+    next = std::max<SimTime>(policy.adaptive_min_time_us, cur / 2);
+  } else if (flushed_pages <= policy.adaptive_dirty_low) {
+    next = std::min<SimTime>(policy.adaptive_max_time_us, cur * 2);
+  }
+  if (next == cur) {
+    return;
+  }
+  Metrics& m = env_.metrics();
+  if (next < cur) {
+    m.sync_adaptive_tighten++;
+  } else {
+    m.sync_adaptive_loosen++;
+  }
+  pcb.adaptive_time_limit_us = next;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSyncAdaptive, id_, pcb.pid.value, 0, next,
+                    flushed_pages);
+  }
+}
+
+void Kernel::ForceSync(Pcb& pcb, bool signal_forced, bool force_synchronous) {
   if (!CanSyncNow(pcb)) {
     return;
   }
   const SystemConfig& cfg = env_.config();
+  const SyncPolicy& policy = cfg.sync_policy;
   Metrics& m = env_.metrics();
 
   // §7.7: a parent's sync forces children that do not yet have backups to
   // sync first, so their page accounts exist before the parent's state
-  // (which already references the fork) becomes the recovery point.
+  // (which already references the fork) becomes the recovery point. The
+  // drain queue is FIFO, so asynchronous child flushes still complete —
+  // pages and records — before the parent's.
   for (auto& [cpid, child] : procs_) {
     if (child->parent == pcb.pid && !child->backup_exists && !child->dispatched &&
         child->backup_cluster != kNoCluster && child.get() != &pcb) {
       if (CanSyncNow(*child)) {
-        ForceSync(*child, false);
+        ForceSync(*child, false, force_synchronous);
       }
     }
   }
-  SimTime stall = cfg.sync_build_us;
 
-  // Part 1 (§7.8): ship pages dirtied since the last sync to the page
-  // server. The primary pays only the enqueue cost; transmission and the
-  // page server's work happen behind its back (§8.3).
-  RoutingEntry* page_entry = KernelPageEntry();
-  std::vector<PageNum> dirty = pcb.body->DirtyPages();
-  if (page_entry != nullptr) {
-    for (PageNum page : dirty) {
+  // Part 1 (§7.8): capture the pages to ship — a copy-on-write snapshot of
+  // everything dirtied since the last flush (or every resident page under
+  // stop-and-copy). The capture advances the dirty generation, so writes
+  // from here on belong to the next increment even while these snapshots
+  // are still draining.
+  RoutingEntry* page_entry = KernelPageEntryFor(pcb.pid);
+  bool full = policy.mode == SyncMode::kStopAndCopy;
+  std::vector<std::pair<PageNum, Bytes>> pages = pcb.body->CaptureFlushPages(full);
+  const size_t flushed_page_count = pages.size();
+  AURAGEN_CHECK(pages.empty() || cfg.strategy != FtStrategy::kMessageSystem ||
+                page_entry != nullptr)
+      << "dirty pages with no page server attached";
+  RetuneSyncTrigger(pcb, flushed_page_count);
+  bool async = policy.mode == SyncMode::kIncrementalAsync && !force_synchronous &&
+               page_entry != nullptr;
+
+  SimTime enqueue_stall = 0;
+  if (!async && page_entry != nullptr) {
+    // Synchronous flush: the primary stalls for every page enqueue (§8.3).
+    for (const auto& [page, content] : pages) {
       PageWriteBody body;
       body.pid = pcb.pid;
       body.page = page;
-      body.content = pcb.body->PageContent(page);
+      body.content = content;
       m.sync_pages_shipped++;
       m.sync_bytes_shipped += body.content.size();
       if (tracer_ != nullptr) {
@@ -129,20 +210,17 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
                         body.content.size());
       }
       SendKernelChannel(*page_entry, MsgKind::kPageWrite, body.Encode());
-      stall += cfg.sync_page_enqueue_us;
+      enqueue_stall += cfg.sync_page_enqueue_us;
     }
-  } else {
-    AURAGEN_CHECK(dirty.empty() || cfg.strategy != FtStrategy::kMessageSystem ||
-                  page_entry != nullptr)
-        << "dirty pages with no page server attached";
   }
-  pcb.body->ClearDirty();
 
   // Part 2: the sync message proper — small, cluster-independent state plus
   // per-channel deltas — sent atomically to the backup cluster, the page
-  // server, and the page server's backup (§7.8: "either all or none of the
+  // server shard, and the shard's backup (§7.8: "either all or none of the
   // destinations get the sync message", which is why the page account can
-  // never run ahead of the backup PCB).
+  // never run ahead of the backup PCB). Under an asynchronous drain the
+  // record is *built* now, at the capture point, but enqueued only after
+  // the last page of this flush — the same invariant, shifted to drain end.
   SyncRecord record;
   record.pid = pcb.pid;
   record.sync_seq = ++pcb.sync_seq;
@@ -181,10 +259,60 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
     routing_.Remove(ch, pcb.pid, /*backup=*/false);
   }
 
+  if (async) {
+    // §8.3 overlap: park the snapshots and the finished record on the drain
+    // queue; the executive ships them while the primary keeps running.
+    FlushJob job;
+    job.pid = pcb.pid;
+    job.started_at = env_.engine().Now();
+    job.pages = std::move(pages);
+    job.record = std::move(record);
+    flush_queue_.push_back(std::move(job));
+    pcb.flush_in_flight = true;
+    pcb.flush_window_writes.clear();
+    m.sync_flushes_async++;
+  } else {
+    SendSyncRecord(record, page_entry);
+  }
+
+  pcb.reads_since_sync = 0;
+  pcb.exec_us_since_sync = 0;
+  pcb.ever_synced = true;
+  pcb.backup_exists = true;
+
+  SimTime stall = cfg.sync_build_us + enqueue_stall;
+  m.syncs++;
+  m.sync_primary_stall_us += stall;
+  m.sync_build_stall_us += cfg.sync_build_us;
+  m.sync_enqueue_stall_us += enqueue_stall;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSyncFlushBegin, id_, pcb.pid.value, 0,
+                    flushed_page_count, enqueue_stall);
+    tracer_->Record(TraceEventKind::kSyncTrigger, id_, pcb.pid.value, 0,
+                    pcb.sync_seq, stall);
+    if (!async) {
+      // Synchronous flush: acknowledged the instant the record is queued.
+      tracer_->Record(TraceEventKind::kSyncFlushAck, id_, pcb.pid.value, 0,
+                      pcb.sync_seq, 0);
+    }
+  }
+  if (signal_forced) {
+    m.forced_signal_syncs++;
+  }
+  // The stall is work-processor time the primary loses (§8.3).
+  m.work_busy_us += stall;
+  pcb.exec_us_total += stall;
+  pcb.stall_until = env_.engine().Now() + stall;
+  if (async) {
+    StartFlushDrain();
+  }
+}
+
+void Kernel::SendSyncRecord(const SyncRecord& record, RoutingEntry* page_entry) {
   Msg msg;
   msg.header.kind = MsgKind::kSync;
-  msg.header.src_pid = pcb.pid;
-  ClusterMask targets = MaskOf(pcb.backup_cluster);
+  msg.header.src_pid = record.pid;
+  ClusterMask targets = MaskOf(record.backup_cluster);
   if (page_entry != nullptr) {
     msg.header.dst_pid = page_entry->peer_pid;
     msg.header.channel = page_entry->channel;
@@ -195,25 +323,113 @@ void Kernel::ForceSync(Pcb& pcb, bool signal_forced) {
   msg.header.src_backup_cluster = kNoCluster;
   msg.body = record.Encode();
   EnqueueOutgoing(std::move(msg), targets);
+}
 
-  pcb.reads_since_sync = 0;
-  pcb.exec_us_since_sync = 0;
-  pcb.ever_synced = true;
-  pcb.backup_exists = true;
+// ------------------------------------------------------ async flush drain
 
-  m.syncs++;
-  m.sync_primary_stall_us += stall;
+void Kernel::StartFlushDrain() {
+  if (flush_draining_ || flush_queue_.empty()) {
+    return;
+  }
+  flush_draining_ = true;
+  ScheduleFlushStep();
+}
+
+void Kernel::ScheduleFlushStep() {
+  const SystemConfig& cfg = env_.config();
+  FlushJob& job = flush_queue_.front();
+  uint32_t remaining = static_cast<uint32_t>(job.pages.size() - job.next_page);
+  uint32_t batch = std::min(cfg.sync_policy.drain_batch_pages, remaining);
+  // A record-only step (no pages left) still costs one enqueue slot.
+  SimTime cost = std::max<uint32_t>(batch, 1) * cfg.sync_page_enqueue_us;
+  uint64_t epoch = flush_epoch_;
+  ExecEnqueue(cost, [this, epoch, batch, cost] { FlushStep(epoch, batch, cost); });
+}
+
+void Kernel::FlushStep(uint64_t epoch, uint32_t batch, SimTime cost) {
+  if (!alive_ || epoch != flush_epoch_ || flush_queue_.empty()) {
+    return;
+  }
+  Metrics& m = env_.metrics();
+  m.sync_drain_async_us += cost;
+  FlushJob& job = flush_queue_.front();
+  RoutingEntry* page_entry = KernelPageEntryFor(job.pid);
+  for (uint32_t i = 0; i < batch && !job.cancelled; ++i) {
+    AURAGEN_CHECK(job.next_page < job.pages.size()) << "flush step overran job";
+    const auto& [page, content] = job.pages[job.next_page++];
+    if (page_entry == nullptr) {
+      continue;  // page server unreachable mid-drain; rebuild re-ships
+    }
+    PageWriteBody body;
+    body.pid = job.pid;
+    body.page = page;
+    body.content = content;
+    m.sync_pages_shipped++;
+    m.sync_bytes_shipped += body.content.size();
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kPageShip, id_, job.pid.value, 0, page,
+                      body.content.size());
+    }
+    SendKernelChannel(*page_entry, MsgKind::kPageWrite, body.Encode());
+  }
+  if (job.cancelled || job.next_page >= job.pages.size()) {
+    CompleteFlushJob(job);
+    flush_queue_.pop_front();
+    if (flush_queue_.empty()) {
+      flush_draining_ = false;
+      return;
+    }
+  }
+  ScheduleFlushStep();
+}
+
+void Kernel::CompleteFlushJob(FlushJob& job) {
+  Pcb* pcb = FindProcess(job.pid);
+  // The record is only valid against the backup it was built for. If the
+  // backup cluster died (or the process did) while the flush drained, the
+  // rebuild path re-syncs synchronously from current state; a stale record
+  // must not materialize a ghost backup on a restarted cluster.
+  bool record_valid = !job.cancelled && pcb != nullptr &&
+                      pcb->backup_cluster == job.record.backup_cluster &&
+                      !pcb->needs_rebackup;
+  if (record_valid) {
+    // §5.4: sends made while the flush drained reach the backup before this
+    // record. Carry their counts so the backup keeps exactly that much
+    // duplicate-suppression budget instead of zeroing it.
+    for (const auto& [channel, writes] : pcb->flush_window_writes) {
+      job.record.writes_in_flight.emplace_back(channel, writes);
+    }
+    SendSyncRecord(job.record, KernelPageEntryFor(job.pid));
+  }
+  SimTime overlap = env_.engine().Now() - job.started_at;
+  env_.metrics().sync_flush_overlap_us += overlap;
   if (tracer_ != nullptr) {
-    tracer_->Record(TraceEventKind::kSyncTrigger, id_, pcb.pid.value, 0,
-                    pcb.sync_seq, stall);
+    tracer_->Record(TraceEventKind::kSyncFlushAck, id_, job.pid.value, 0,
+                    job.record.sync_seq, overlap);
   }
-  if (signal_forced) {
-    m.forced_signal_syncs++;
+  if (pcb != nullptr) {
+    pcb->flush_in_flight = false;
+    pcb->flush_window_writes.clear();
+    // Triggers deferred during the drain (including a pending re-backup)
+    // fire now, at the first quiescent point.
+    if (!pcb->dispatched) {
+      MaybeTriggerSync(*pcb);
+    }
   }
-  // The stall is work-processor time the primary loses (§8.3).
-  m.work_busy_us += stall;
-  pcb.exec_us_total += stall;
-  pcb.stall_until = env_.engine().Now() + stall;
+}
+
+void Kernel::CancelFlushJobs(Gpid pid) {
+  for (FlushJob& job : flush_queue_) {
+    if (job.pid == pid) {
+      job.cancelled = true;
+    }
+  }
+}
+
+void Kernel::ResetFlushPipeline() {
+  flush_queue_.clear();
+  flush_draining_ = false;
+  flush_epoch_++;
 }
 
 Bytes Kernel::CaptureKernelContext(Pcb& pcb) {
@@ -245,6 +461,13 @@ void Kernel::DropClosedBackupChannel(BackupPcb& b, ChannelId channel, Gpid pid, 
 void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
   auto [it, created] = backups_.try_emplace(record.pid);
   BackupPcb& b = it->second;
+  if (!created && b.has_sync && record.sync_seq <= b.sync_seq) {
+    // Stale or duplicate record (sync_seq is monotone along every valid
+    // application order); applying it would re-trim saved queues.
+    ALOG_WARN() << "c" << id_ << ": stale sync record seq " << record.sync_seq
+                << " for " << GpidStr(record.pid) << " (have " << b.sync_seq << ")";
+    return;
+  }
   if (created) {
     b.pid = record.pid;
     b.mode = static_cast<BackupMode>(record.mode);
@@ -298,6 +521,18 @@ void Kernel::ApplySyncAtBackup(const SyncRecord& record) {
     }
     entry->writes_since_sync = 0;
   }
+
+  // Async flush: counted sends made between record build and record
+  // transmission arrived here ahead of the record (bus FIFO). Restore their
+  // exact §5.4 suppression budget — zero would double-deliver them after a
+  // rollforward; more would suppress genuinely new sends.
+  for (const auto& [channel, writes] : record.writes_in_flight) {
+    RoutingEntry* entry =
+        routing_.Find(ChannelId{channel}, record.pid, /*backup=*/true);
+    if (entry != nullptr) {
+      entry->writes_since_sync = writes;
+    }
+  }
 }
 
 // --------------------------------------------------------------- paging
@@ -312,7 +547,7 @@ void Kernel::HandlePageFault(Pcb& pcb, PageNum page) {
     MakeReady(pcb);
     return;
   }
-  RoutingEntry* page_entry = KernelPageEntry();
+  RoutingEntry* page_entry = KernelPageEntryFor(pcb.pid);
   AURAGEN_CHECK(page_entry != nullptr) << "recovery paging with no page server";
   PageRequestBody req;
   req.pid = pcb.pid;
@@ -367,7 +602,7 @@ void Kernel::ReissuePageRequests() {
   for (Gpid pid : blocked) {
     Pcb& pcb = *procs_[pid];
     page_waiters_.erase(pcb.page_cookie);
-    RoutingEntry* page_entry = KernelPageEntry();
+    RoutingEntry* page_entry = KernelPageEntryFor(pid);
     if (page_entry == nullptr) {
       continue;
     }

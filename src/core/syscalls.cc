@@ -80,6 +80,11 @@ void Kernel::SendOnChannel(Pcb& pcb, RoutingEntry& entry, MsgKind kind, Bytes bo
   entry.written_since_sync = true;
   entry.writes_total++;
   pcb.writes_total++;
+  if (pcb.flush_in_flight && counted && entry.own_backup_cluster != kNoCluster) {
+    // This send's count leg reaches the backup before the draining sync
+    // record does; tally it so the record preserves the §5.4 budget.
+    pcb.flush_window_writes[entry.channel.value]++;
+  }
   env_.metrics().messages_sent++;
   env_.metrics().bytes_sent += msg.body.size();
   if (tracer_ != nullptr) {

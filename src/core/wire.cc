@@ -111,6 +111,11 @@ Bytes SyncRecord::Encode() const {
     w.U8(c.closed_since_sync ? 1 : 0);
     w.U32(c.reads_since_sync);
   }
+  w.U32(static_cast<uint32_t>(writes_in_flight.size()));
+  for (const auto& [ch, writes] : writes_in_flight) {
+    w.U64(ch);
+    w.U32(writes);
+  }
   return w.Take();
 }
 
@@ -136,6 +141,12 @@ SyncRecord SyncRecord::Decode(ByteView body) {
     c.opened_since_sync = r.U8() != 0;
     c.closed_since_sync = r.U8() != 0;
     c.reads_since_sync = r.U32();
+  }
+  uint32_t wif = r.U32();
+  s.writes_in_flight.resize(wif);
+  for (auto& [ch, writes] : s.writes_in_flight) {
+    ch = r.U64();
+    writes = r.U32();
   }
   return s;
 }

@@ -135,6 +135,11 @@ struct SyncRecord {
   Gpid parent;
   Gpid family_head;
   std::vector<SyncChannelRecord> channels;
+  // Async flush (§8.3): counted sends the primary made on each channel
+  // between record build and record transmission. Those messages reach the
+  // backup *before* this record, so the backup must keep exactly this much
+  // duplicate-suppression budget (§5.4) instead of zeroing the counter.
+  std::vector<std::pair<uint64_t, uint32_t>> writes_in_flight;
 
   Bytes Encode() const;
   static SyncRecord Decode(ByteView body);

@@ -146,6 +146,8 @@ RunOutcome RunWorkload(const CampaignWorkload& wl, uint64_t seed, BackupMode mod
   MachineOptions mo;
   mo.config.num_clusters = opt.num_clusters;
   mo.config.sync_reads_limit = 4;  // tight sync cadence: more recovery points
+  mo.config.sync_policy = opt.sync_policy;
+  mo.config.page_shards = opt.page_shards;
   mo.seed = seed;
   // Ring-mode flight recorder: whole-run digest for the determinism replay
   // at bounded memory, and a tail of events if a scenario needs diagnosis.

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/config.h"
 #include "src/fault/fault_plan.h"
 
 namespace auragen {
@@ -41,6 +42,10 @@ struct CampaignOptions {
   // hundred thousand events) so only a genuine livelock trips it.
   uint64_t dispatch_limit = 100'000'000;
   bool check_determinism = true;
+  // Sync pipeline under test: every run of the campaign (reference, faulted,
+  // replay) uses the same policy, so digests compare within one mode.
+  SyncPolicy sync_policy;
+  uint32_t page_shards = 1;
 };
 
 struct ScenarioResult {

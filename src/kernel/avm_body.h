@@ -37,6 +37,9 @@ class AvmBody : public Body {
   std::vector<PageNum> DirtyPages() const override;
   Bytes PageContent(PageNum page) const override;
   void ClearDirty() override;
+  std::vector<std::pair<PageNum, Bytes>> CaptureFlushPages(bool full) override {
+    return mem_.CaptureFlushPages(full);
+  }
   void EvictAllPages() override;
   void InstallPage(PageNum page, bool known, const Bytes& content) override;
   bool NeedsServerPaging() const override;

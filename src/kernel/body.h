@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/codec.h"
@@ -84,6 +85,21 @@ class Body {
   virtual std::vector<PageNum> DirtyPages() const = 0;
   virtual Bytes PageContent(PageNum page) const = 0;
   virtual void ClearDirty() = 0;
+  // Copy-on-write flush capture for the sync pipeline: snapshots the pages
+  // to ship at this sync — pages dirtied since the previous capture, or
+  // every resident page when `full` (stop-and-copy) — and advances the
+  // body's dirty tracking so writes after the capture belong to the next
+  // increment. The returned contents are immutable copies the caller may
+  // drain to the outgoing queue asynchronously.
+  virtual std::vector<std::pair<PageNum, Bytes>> CaptureFlushPages(bool full) {
+    std::vector<std::pair<PageNum, Bytes>> out;
+    for (PageNum p : DirtyPages()) {
+      out.emplace_back(p, PageContent(p));
+    }
+    ClearDirty();
+    (void)full;
+    return out;
+  }
   // Recovery: drop all pages; subsequent Runs fault them back in.
   virtual void EvictAllPages() = 0;
   // Page-in. `known=false` means the page server never saw this page: the

@@ -175,6 +175,25 @@ void NativeBody::ClearDirty() {
   last_synced_chunks_ = sync_snapshot_;
 }
 
+std::vector<std::pair<PageNum, Bytes>> NativeBody::CaptureFlushPages(bool full) {
+  if (!paged_ft_) {
+    return {};
+  }
+  std::vector<std::pair<PageNum, Bytes>> out;
+  if (full) {
+    sync_snapshot_ = Chunk(SerializeProgram());
+    for (size_t i = 0; i < sync_snapshot_.size(); ++i) {
+      out.emplace_back(static_cast<PageNum>(i), sync_snapshot_[i]);
+    }
+  } else {
+    for (PageNum p : DirtyPages()) {
+      out.emplace_back(p, PageContent(p));
+    }
+  }
+  last_synced_chunks_ = sync_snapshot_;
+  return out;
+}
+
 void NativeBody::EvictAllPages() {
   recovering_ = true;
   incoming_chunks_.assign(expected_chunks_, std::nullopt);

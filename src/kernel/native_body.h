@@ -136,6 +136,7 @@ class NativeBody : public Body {
   std::vector<PageNum> DirtyPages() const override;
   Bytes PageContent(PageNum page) const override;
   void ClearDirty() override;
+  std::vector<std::pair<PageNum, Bytes>> CaptureFlushPages(bool full) override;
   void EvictAllPages() override;
   void InstallPage(PageNum page, bool known, const Bytes& content) override;
   bool NeedsServerPaging() const override { return recovering_; }

@@ -1,6 +1,7 @@
 #include "src/machine/machine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/base/log.h"
@@ -12,6 +13,92 @@ constexpr Gpid Machine::kFsPid;
 constexpr Gpid Machine::kPsPid;
 constexpr Gpid Machine::kTtyPid;
 constexpr Gpid Machine::kPagePid;
+
+namespace {
+
+std::string PlacementError(const char* role, const std::string& what) {
+  return std::string(role) + " server: " + what;
+}
+
+}  // namespace
+
+std::string ServerPlacement::Validate(const SystemConfig& config) const {
+  const uint32_t n = config.num_clusters;
+  const bool ft = config.strategy == FtStrategy::kMessageSystem;
+  if (n < 1) {
+    return "num_clusters must be >= 1";
+  }
+  if (config.page_shards < 1 || config.page_shards > 32) {
+    return "page_shards must be in [1, 32], got " + std::to_string(config.page_shards);
+  }
+  if (ft && n < 2) {
+    return "message-system fault tolerance needs num_clusters >= 2 (backups must "
+           "live on a different cluster)";
+  }
+
+  struct Role {
+    const char* name;
+    const ClusterPair* pair;
+  };
+  const Role roles[] = {{"file", &file}, {"process", &process}, {"tty", &tty}, {"page", &page}};
+  for (const Role& r : roles) {
+    if (r.pair->primary >= n) {
+      return PlacementError(r.name, "primary cluster " + std::to_string(r.pair->primary) +
+                                        " out of range (num_clusters=" + std::to_string(n) +
+                                        ")");
+    }
+    if (!ft) {
+      continue;  // backups are never spawned without the message system
+    }
+    if (r.pair->backup >= n) {
+      return PlacementError(r.name, "backup cluster " + std::to_string(r.pair->backup) +
+                                        " out of range (num_clusters=" + std::to_string(n) +
+                                        ")");
+    }
+    if (r.pair->backup == r.pair->primary) {
+      return PlacementError(r.name, "primary and backup must differ (both " +
+                                        std::to_string(r.pair->primary) + ")");
+    }
+  }
+
+  if (ft) {
+    // §7.9: a peripheral server and its active backup each need a path to the
+    // server's disk, i.e. both must sit on one of the disk's two ports.
+    auto on_port = [](ClusterId c, const ClusterPair& disk) {
+      return c == disk.primary || c == disk.backup;
+    };
+    auto check_ports = [&](const char* role, const ClusterPair& server,
+                           const ClusterPair& disk) -> std::string {
+      for (ClusterId c : {server.primary, server.backup}) {
+        if (!on_port(c, disk)) {
+          return PlacementError(role, "cluster " + std::to_string(c) +
+                                          " is not a port of its disk {" +
+                                          std::to_string(disk.primary) + "," +
+                                          std::to_string(disk.backup) + "} (§7.9)");
+        }
+      }
+      return {};
+    };
+    if (std::string err = check_ports("file", file, file_disk); !err.empty()) {
+      return err;
+    }
+    if (std::string err = check_ports("page", page, page_disk); !err.empty()) {
+      return err;
+    }
+    if (file_disk.primary >= n || file_disk.backup >= n || page_disk.primary >= n ||
+        page_disk.backup >= n) {
+      return "disk port out of range (num_clusters=" + std::to_string(n) + ")";
+    }
+  }
+  return {};
+}
+
+std::string MachineOptions::Validate() const {
+  if (std::string err = config.sync_policy.Validate(); !err.empty()) {
+    return "sync_policy: " + err;
+  }
+  return placement.Validate(config);
+}
 
 Machine::Machine(MachineOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
@@ -25,10 +112,15 @@ Machine::Machine(MachineOptions options)
   }
   bus_ = std::make_unique<InterclusterBus>(engine_, cfg.bus, cfg.num_clusters);
   bus_->set_tracer(tracer_.get());
-  fs_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.fs_cluster,
-                                            options_.fs_backup);
-  page_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, options_.page_cluster,
-                                              options_.page_backup);
+  const ServerPlacement& place = options_.placement;
+  fs_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, place.file_disk.primary,
+                                            place.file_disk.backup);
+  const uint32_t shards = std::max<uint32_t>(1, cfg.page_shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    page_disks_.push_back(std::make_unique<MirroredDisk>(
+        engine_, options_.disk, (place.page_disk.primary + s) % cfg.num_clusters,
+        (place.page_disk.backup + s) % cfg.num_clusters));
+  }
   for (ClusterId c = 0; c < cfg.num_clusters; ++c) {
     kernels_.push_back(std::make_unique<Kernel>(*this, c));
     kernels_.back()->set_tracer(tracer_.get());
@@ -39,6 +131,9 @@ Machine::~Machine() = default;
 
 void Machine::Boot() {
   AURAGEN_CHECK(!booted_) << "Boot() called twice";
+  if (std::string err = options_.Validate(); !err.empty()) {
+    AURAGEN_PANIC("invalid MachineOptions: " + err);
+  }
   booted_ = true;
   for (auto& kernel : kernels_) {
     kernel->Start();
@@ -51,20 +146,29 @@ void Machine::Boot() {
 
 void Machine::SpawnServers() {
   const bool ft = options_.config.strategy == FtStrategy::kMessageSystem;
+  const ServerPlacement& place = options_.placement;
+  const uint32_t n = options_.config.num_clusters;
 
-  fs_addr_ = ServerAddr{kFsPid, options_.fs_cluster, ft ? options_.fs_backup : kNoCluster};
-  ps_addr_ = ServerAddr{kPsPid, options_.ps_cluster, ft ? options_.ps_backup : kNoCluster};
-  tty_addr_ =
-      ServerAddr{kTtyPid, options_.tty_cluster, ft ? options_.tty_backup : kNoCluster};
-  page_addr_ =
-      ServerAddr{kPagePid, options_.page_cluster, ft ? options_.page_backup : kNoCluster};
+  fs_addr_ = ServerAddr{kFsPid, place.file.primary, ft ? place.file.backup : kNoCluster};
+  ps_addr_ = ServerAddr{kPsPid, place.process.primary, ft ? place.process.backup : kNoCluster};
+  tty_addr_ = ServerAddr{kTtyPid, place.tty.primary, ft ? place.tty.backup : kNoCluster};
+  for (uint32_t s = 0; s < page_disks_.size(); ++s) {
+    // Shard placement rotates with the shard index (and so do the disks,
+    // built the same way in the constructor), spreading paging load and
+    // keeping §7.9 satisfied per shard.
+    const ClusterId primary = (place.page.primary + s) % n;
+    const ClusterId backup = (place.page.backup + s) % n;
+    page_addrs_.push_back(ServerAddr{PageShardPid(s), primary, ft ? backup : kNoCluster});
+  }
 
   server_disks_[kFsPid.value] = fs_disk_.get();
-  server_disks_[kPagePid.value] = page_disk_.get();
-  server_locations_[kFsPid.value] = options_.fs_cluster;
-  server_locations_[kPsPid.value] = options_.ps_cluster;
-  server_locations_[kTtyPid.value] = options_.tty_cluster;
-  server_locations_[kPagePid.value] = options_.page_cluster;
+  server_locations_[kFsPid.value] = place.file.primary;
+  server_locations_[kPsPid.value] = place.process.primary;
+  server_locations_[kTtyPid.value] = place.tty.primary;
+  for (uint32_t s = 0; s < page_disks_.size(); ++s) {
+    server_disks_[PageShardPid(s).value] = page_disks_[s].get();
+    server_locations_[PageShardPid(s).value] = page_addrs_[s].primary;
+  }
 
   auto spawn_peripheral = [&](Gpid pid, ClusterId primary, ClusterId backup,
                               auto make_program) {
@@ -91,13 +195,15 @@ void Machine::SpawnServers() {
     }
   };
 
-  spawn_peripheral(kPagePid, options_.page_cluster, options_.page_backup, [&] {
-    return std::make_unique<PageServerProgram>(options_.page_server);
-  });
-  spawn_peripheral(kFsPid, options_.fs_cluster, options_.fs_backup, [&] {
+  for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
+    spawn_peripheral(PageShardPid(s), page_addrs_[s].primary,
+                     (place.page.backup + s) % n,
+                     [&] { return std::make_unique<PageServerProgram>(options_.page_server); });
+  }
+  spawn_peripheral(kFsPid, place.file.primary, place.file.backup, [&] {
     return std::make_unique<FileServerProgram>(options_.file_server);
   });
-  spawn_peripheral(kTtyPid, options_.tty_cluster, options_.tty_backup,
+  spawn_peripheral(kTtyPid, place.tty.primary, place.tty.backup,
                    [&] { return std::make_unique<TtyServerProgram>(options_.tty_server); });
 
   // The process server is a *system* server (§7.6): standard page-diff sync
@@ -108,15 +214,18 @@ void Machine::SpawnServers() {
     spec.native_paged_ft = true;
     spec.mode = BackupMode::kQuarterback;
     spec.fixed_pid = kPsPid;
-    spec.backup_cluster = ft ? options_.ps_backup : kNoCluster;
+    spec.backup_cluster = ft ? place.process.backup : kNoCluster;
     // Aggressive sync keeps the PS backup near-current (it is tiny).
     spec.sync_reads_limit = 8;
-    kernels_[options_.ps_cluster]->Spawn(std::move(spec));
+    kernels_[place.process.primary]->Spawn(std::move(spec));
   }
 
-  // Kernel page channels (§7.6): every kernel talks to the page server.
+  // Kernel page channels (§7.6): every kernel talks to every page-server
+  // shard; the binding tag encodes the shard index.
   for (auto& kernel : kernels_) {
-    kernel->CreateKernelChannel(page_addr_, kBindPageChannel);
+    for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
+      kernel->CreateKernelChannel(page_addrs_[s], kBindPageChannel + s);
+    }
   }
 }
 
@@ -188,12 +297,18 @@ void Machine::CrashClusterAt(SimTime when, ClusterId cluster) {
 
 void Machine::RestoreCluster(ClusterId cluster) {
   kernels_[cluster]->Restart();
-  kernels_[cluster]->CreateKernelChannel(page_addr_, kBindPageChannel);
+  for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
+    kernels_[cluster]->CreateKernelChannel(page_addrs_[s], kBindPageChannel + s);
+  }
   // §7.3: halfbacks get new backups when the crashed cluster returns.
   // Every unprotected peripheral server whose disk (if any) reaches the
   // restored cluster re-creates its active backup there.
   engine_.Schedule(1000, [this, cluster] {
-    for (Gpid pid : {kFsPid, kPagePid, kTtyPid}) {
+    std::vector<Gpid> peripherals = {kFsPid, kTtyPid};
+    for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
+      peripherals.push_back(PageShardPid(s));
+    }
+    for (Gpid pid : peripherals) {
       auto loc = server_locations_.find(pid.value);
       if (loc == server_locations_.end() || !kernels_[loc->second]->alive()) {
         continue;
@@ -215,7 +330,9 @@ void Machine::RestoreCluster(ClusterId cluster) {
       patch(fs_addr_);
       patch(ps_addr_);
       patch(tty_addr_);
-      patch(page_addr_);
+      for (ServerAddr& addr : page_addrs_) {
+        patch(addr);
+      }
     }
   });
 }
@@ -316,8 +433,10 @@ std::unique_ptr<NativeProgram> Machine::MakeServerProgram(Gpid pid) {
   if (pid == kPsPid) {
     return std::make_unique<ProcessServerProgram>();
   }
-  if (pid == kPagePid) {
-    return std::make_unique<PageServerProgram>(options_.page_server);
+  for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
+    if (pid == PageShardPid(s)) {
+      return std::make_unique<PageServerProgram>(options_.page_server);
+    }
   }
   if (pid == kFsPid) {
     return std::make_unique<FileServerProgram>(options_.file_server);
@@ -339,7 +458,9 @@ void Machine::OnServerTakeover(Gpid pid, ClusterId new_cluster) {
   patch(fs_addr_);
   patch(ps_addr_);
   patch(tty_addr_);
-  patch(page_addr_);
+  for (ServerAddr& addr : page_addrs_) {
+    patch(addr);
+  }
 }
 
 void Machine::OnProcessExit(Gpid pid, int32_t status) {

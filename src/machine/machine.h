@@ -23,21 +23,41 @@
 
 namespace auragen {
 
+// A primary/backup cluster pair: the placement of one server role, or the
+// two ports of a dual-ported disk.
+struct ClusterPair {
+  ClusterId primary = 0;
+  ClusterId backup = 1;
+};
+
+// Placement of every operating-system server and disk port. Replaces the
+// former eight loose fs_cluster/fs_backup/... fields so a placement can be
+// validated as a whole: §7.9 requires peripheral servers (and their active
+// backups) to sit on a port of their disk, and a backup must never share a
+// cluster with its primary.
+struct ServerPlacement {
+  ClusterPair file{0, 1};
+  ClusterPair process{0, 1};
+  ClusterPair tty{0, 1};
+  // Page-server shard 0. With SystemConfig::page_shards > 1, shard s is
+  // placed at ((page.* + s) mod num_clusters) — and so are its disk ports,
+  // which keeps §7.9 holding for every shard whenever it holds for shard 0.
+  ClusterPair page{1, 0};
+  ClusterPair file_disk{0, 1};  // dual-port attachment of the file-system disk
+  ClusterPair page_disk{1, 0};  // dual-port attachment of the paging disk(s)
+
+  // "" when valid; otherwise an actionable diagnostic naming the offending
+  // role. Backup and disk-port constraints are enforced only under the
+  // message-system strategy — without it, backups are never spawned.
+  std::string Validate(const SystemConfig& config) const;
+};
+
 struct MachineOptions {
   SystemConfig config;
   uint64_t seed = 1;
   DiskConfig disk;
 
-  // Server placement. Peripheral servers must sit on a port of their disk
-  // (§7.9); defaults put everything on clusters 0/1.
-  ClusterId fs_cluster = 0;
-  ClusterId fs_backup = 1;
-  ClusterId page_cluster = 1;
-  ClusterId page_backup = 0;
-  ClusterId ps_cluster = 0;
-  ClusterId ps_backup = 1;
-  ClusterId tty_cluster = 0;
-  ClusterId tty_backup = 1;
+  ServerPlacement placement;
 
   PageServerOptions page_server;
   FileServerOptions file_server;
@@ -47,6 +67,30 @@ struct MachineOptions {
   // Machine owns a Tracer and wires it through the engine, bus, kernels, and
   // servers. Write-only observability: enabling it never changes a run.
   TraceOptions trace;
+
+  // "" when valid; Machine::Boot() aborts with this diagnostic otherwise.
+  std::string Validate() const;
+
+  // Fluent configuration path. Plain aggregate / field-assignment init keeps
+  // working; these just let call sites chain the common knobs:
+  //   MachineOptions().WithClusters(4).WithSyncMode(SyncMode::kIncrementalAsync)
+  MachineOptions& WithSeed(uint64_t s) { seed = s; return *this; }
+  MachineOptions& WithClusters(uint32_t n) { config.num_clusters = n; return *this; }
+  MachineOptions& WithStrategy(FtStrategy s) { config.strategy = s; return *this; }
+  MachineOptions& WithSyncPolicy(const SyncPolicy& p) { config.sync_policy = p; return *this; }
+  MachineOptions& WithSyncMode(SyncMode m) { config.sync_policy.mode = m; return *this; }
+  MachineOptions& WithAdaptiveSync(bool on = true) {
+    config.sync_policy.adaptive = on;
+    return *this;
+  }
+  MachineOptions& WithSyncLimits(uint32_t reads, SimTime time_us) {
+    config.sync_reads_limit = reads;
+    config.sync_time_limit_us = time_us;
+    return *this;
+  }
+  MachineOptions& WithPageShards(uint32_t n) { config.page_shards = n; return *this; }
+  MachineOptions& WithPlacement(const ServerPlacement& p) { placement = p; return *this; }
+  MachineOptions& WithTrace(bool on = true) { trace.enabled = on; return *this; }
 };
 
 // One emitted terminal record (kTtyEmit payload plus arrival time).
@@ -125,9 +169,10 @@ class Machine : public MachineEnv {
   ServerAddr file_server_addr() const { return fs_addr_; }
   ServerAddr proc_server_addr() const { return ps_addr_; }
   ServerAddr tty_server_addr() const { return tty_addr_; }
-  ServerAddr page_server_addr() const { return page_addr_; }
+  ServerAddr page_server_addr(uint32_t shard = 0) const { return page_addrs_[shard]; }
+  uint32_t page_shard_count() const { return static_cast<uint32_t>(page_addrs_.size()); }
   MirroredDisk& fs_disk() { return *fs_disk_; }
-  MirroredDisk& page_disk() { return *page_disk_; }
+  MirroredDisk& page_disk(uint32_t shard = 0) { return *page_disks_[shard]; }
   // Null unless MachineOptions::trace.enabled was set.
   Tracer* tracer() { return tracer_.get(); }
   InterclusterBus& bus() override { return *bus_; }
@@ -151,7 +196,9 @@ class Machine : public MachineEnv {
   static constexpr Gpid kFsPid = Gpid::Make(32, 2);
   static constexpr Gpid kPsPid = Gpid::Make(32, 3);
   static constexpr Gpid kTtyPid = Gpid::Make(32, 4);
+  // Page-server shard s is pid Make(32, 5 + s); kPagePid is shard 0.
   static constexpr Gpid kPagePid = Gpid::Make(32, 5);
+  static constexpr Gpid PageShardPid(uint32_t shard) { return Gpid::Make(32, 5 + shard); }
 
  private:
   void SpawnServers();
@@ -163,13 +210,13 @@ class Machine : public MachineEnv {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InterclusterBus> bus_;
   std::unique_ptr<MirroredDisk> fs_disk_;
-  std::unique_ptr<MirroredDisk> page_disk_;
+  std::vector<std::unique_ptr<MirroredDisk>> page_disks_;  // one per shard
   std::vector<std::unique_ptr<Kernel>> kernels_;
 
   ServerAddr fs_addr_;
   ServerAddr ps_addr_;
   ServerAddr tty_addr_;
-  ServerAddr page_addr_;
+  std::vector<ServerAddr> page_addrs_;  // one per shard
 
   std::map<uint64_t, MirroredDisk*> server_disks_;  // pid.value -> disk
   std::map<uint64_t, ClusterId> server_locations_;  // pid.value -> cluster

@@ -39,6 +39,10 @@ std::string TraceAnalysis::ToString() const {
   std::string out;
   out += "delivery latency    : " + delivery_latency.ToString() + "\n";
   out += "sync stall          : " + sync_stall.ToString() + "\n";
+  out += "sync build          : " + sync_build.ToString() + "\n";
+  out += "sync page enqueue   : " + sync_page_enqueue.ToString() + "\n";
+  out += "sync flush pages    : " + sync_flush_pages.ToString() + "\n";
+  out += "sync drain overlap  : " + sync_drain_overlap.ToString() + "\n";
   out += "crash->dispatch     : " + crash_to_dispatch.ToString() + "\n";
   out += "crash->recovered    : " + crash_to_recovered.ToString() + "\n";
   out += "rollforward replayed: " + rollforward_replayed.ToString() + "\n";
@@ -49,6 +53,7 @@ TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events) {
   TraceAnalysis out;
   std::unordered_map<uint64_t, SimTime> tx_ts;     // frame id -> tx time
   std::unordered_map<uint64_t, SimTime> detect_ts; // dead cluster -> detect
+  std::unordered_map<uint64_t, SimTime> enqueue_b; // gpid -> last flush-begin enqueue stall
   bool crash_outstanding = false;
   SimTime first_detect = 0;
 
@@ -64,8 +69,23 @@ TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events) {
         }
         break;
       }
-      case TraceEventKind::kSyncTrigger:
+      case TraceEventKind::kSyncFlushBegin:
+        out.sync_flush_pages.Add(e.a);
+        out.sync_page_enqueue.Add(e.b);
+        enqueue_b[e.gpid] = e.b;
+        break;
+      case TraceEventKind::kSyncTrigger: {
         out.sync_stall.Add(e.b);
+        // kSyncFlushBegin precedes its kSyncTrigger at the same timestamp;
+        // the difference of their b fields is the record-build portion.
+        auto it = enqueue_b.find(e.gpid);
+        if (it != enqueue_b.end() && e.b >= it->second) {
+          out.sync_build.Add(e.b - it->second);
+        }
+        break;
+      }
+      case TraceEventKind::kSyncFlushAck:
+        out.sync_drain_overlap.Add(e.b);
         break;
       case TraceEventKind::kCrashDetect:
         // Several survivors detect the same death; keep the earliest.

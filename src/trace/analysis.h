@@ -42,6 +42,13 @@ class LatencyHistogram {
 struct TraceAnalysis {
   LatencyHistogram delivery_latency;     // bus tx -> rx, per (frame, receiver)
   LatencyHistogram sync_stall;           // primary stall per sync (§5.2)
+  // Split of the sync stall (§8.3): record build vs inline page enqueue.
+  // Async flushes have zero inline enqueue; their page shipping shows up in
+  // sync_drain_overlap (trigger -> record sent) instead.
+  LatencyHistogram sync_build;
+  LatencyHistogram sync_page_enqueue;
+  LatencyHistogram sync_flush_pages;     // pages shipped per flush (a count, not us)
+  LatencyHistogram sync_drain_overlap;   // kSyncFlushAck.b; 0 for synchronous flushes
   LatencyHistogram crash_to_dispatch;    // crash detect -> first dispatch
   LatencyHistogram crash_to_recovered;   // crash detect -> handling complete
   LatencyHistogram rollforward_replayed; // saved messages replayed per takeover

@@ -77,6 +77,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kBusRx: return "bus-rx";
     case TraceEventKind::kFaultInject: return "fault-inject";
     case TraceEventKind::kProcFail: return "proc-fail";
+    case TraceEventKind::kSyncFlushBegin: return "sync-flush-begin";
+    case TraceEventKind::kSyncFlushAck: return "sync-flush-ack";
+    case TraceEventKind::kSyncAdaptive: return "sync-adaptive";
     case TraceEventKind::kEngineDispatch: return "engine-dispatch";
     case TraceEventKind::kMaxKind: break;
   }

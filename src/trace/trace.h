@@ -81,6 +81,14 @@ enum class TraceEventKind : uint8_t {
   kFaultInject = 52,    // injector fired; a = FaultKind, b = action index
   kProcFail = 53,       // §10 individual-process fault; gpid = victim
 
+  // Incremental sync pipeline (§8.3 overlap).
+  kSyncFlushBegin = 54,  // flush captured; a = pages, b = inline enqueue
+                         // stall us (0 when the drain is asynchronous)
+  kSyncFlushAck = 55,    // record reached the outgoing queue; a = sync_seq,
+                         // b = overlap us (drain time the primary ran through)
+  kSyncAdaptive = 56,    // trigger retuned; a = new time limit us, b = pages
+                         // observed at the flush that caused the change
+
   // Simulation engine (very high volume; masked out by default).
   kEngineDispatch = 60,  // a = event id
 

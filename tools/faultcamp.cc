@@ -16,13 +16,18 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
-               "                 [--clusters C] [--no-determinism] [--verbose]\n"
+               "                 [--clusters C] [--sync-mode M] [--adaptive-sync]\n"
+               "                 [--page-shards P] [--no-determinism] [--verbose]\n"
                "\n"
                "  --seeds N          run seeds [start, start+N) (default 200)\n"
                "  --start S          first seed (default 1)\n"
                "  --seed X           run exactly one seed, verbosely\n"
                "  --plan             with --seed: print the fault plan and exit\n"
                "  --clusters C       clusters per machine (default 4)\n"
+               "  --sync-mode M      stop-and-copy | incremental | incremental-async\n"
+               "                     (default incremental)\n"
+               "  --adaptive-sync    adapt the time-based sync trigger to dirty rate\n"
+               "  --page-shards P    page-server shards (default 1)\n"
                "  --no-determinism   skip the replay/trace-digest check (3x -> 2x runs)\n"
                "  --verbose          print every scenario, not just failures\n");
 }
@@ -61,6 +66,23 @@ int main(int argc, char** argv) {
       plan_only = true;
     } else if (arg == "--clusters") {
       opt.num_clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--sync-mode") {
+      std::string mode = next();
+      if (mode == "stop-and-copy") {
+        opt.sync_policy.mode = auragen::SyncMode::kStopAndCopy;
+      } else if (mode == "incremental") {
+        opt.sync_policy.mode = auragen::SyncMode::kIncremental;
+      } else if (mode == "incremental-async") {
+        opt.sync_policy.mode = auragen::SyncMode::kIncrementalAsync;
+      } else {
+        std::fprintf(stderr, "faultcamp: unknown sync mode '%s'\n", mode.c_str());
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--adaptive-sync") {
+      opt.sync_policy.adaptive = true;
+    } else if (arg == "--page-shards") {
+      opt.page_shards = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--no-determinism") {
       opt.check_determinism = false;
     } else if (arg == "--verbose") {
