@@ -15,10 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/workloads.h"
+#include "src/machine/machine.h"
+#include "src/workload/guest_programs.h"
 #include "src/baselines/lockstep.h"
 
 namespace auragen::bench {
+
+using namespace auragen::workload;
 namespace {
 
 constexpr int kJobsPerCluster = 6;

@@ -14,9 +14,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/workloads.h"
+#include "src/machine/machine.h"
+#include "src/workload/guest_programs.h"
 
 namespace auragen::bench {
+
+using namespace auragen::workload;
 namespace {
 
 double BaselineSimMs(int pages) {

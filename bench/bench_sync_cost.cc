@@ -11,9 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/workloads.h"
+#include "src/machine/machine.h"
+#include "src/workload/guest_programs.h"
 
 namespace auragen::bench {
+
+using namespace auragen::workload;
 namespace {
 
 void BM_SyncStallVsDirtyPages(benchmark::State& state) {

@@ -51,6 +51,21 @@ def load_results(path):
     return out
 
 
+def load_counters(path, wanted):
+    """Returns {benchmark_name: {counter: value}} for the counters in `wanted`."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b["name"])
+        vals = {c: float(b[c]) for c in wanted if c in b}
+        if vals:
+            out.setdefault(name, {}).update(vals)
+    return out
+
+
 def fmt_ms(ns):
     return "%8.3f" % (ns / 1e6)
 
@@ -73,15 +88,25 @@ def main():
     gated = set(baseline.get("gated", []))
     threshold = float(baseline.get("threshold", 1.20))
     floor_ns = float(baseline.get("floor_ns", 50_000.0))
+    # Per-suite counters gated on their own values, e.g.
+    # {"kv_serving": ["p99_us"]}. Counters measured in *simulated* time are
+    # deterministic for a fixed seed, so unlike wall clock they get no noise
+    # floor: any exceedance past the threshold is a real regression.
+    gated_counters = baseline.get("gated_counters", {})
 
     if args.update:
         results = {}
+        counters = {}
         for fname in sorted(os.listdir(args.results)):
             if not (fname.startswith("BENCH_") and fname.endswith(".json")):
                 continue
             suite = fname[len("BENCH_"):-len(".json")]
             results[suite] = load_results(os.path.join(args.results, fname))
+            if suite in gated_counters:
+                counters[suite] = load_counters(
+                    os.path.join(args.results, fname), gated_counters[suite])
         baseline["results"] = results
+        baseline["counters"] = counters
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -119,6 +144,32 @@ def main():
             print("%-52s %s %s %7.2fx%s"
                   % ("%s:%s" % (suite, name), fmt_ms(base[name]), fmt_ms(now[name]),
                      ratio, mark))
+
+    for suite in sorted(baseline.get("counters", {})):
+        base = baseline["counters"][suite]
+        path = os.path.join(args.results, "BENCH_%s.json" % suite)
+        if not os.path.exists(path):
+            line = "%s: results file missing (%s)" % (suite, path)
+            failures.append(line)
+            print("  " + line)
+            continue
+        now = load_counters(path, gated_counters.get(suite, []))
+        for name in sorted(base):
+            for counter in sorted(base[name]):
+                if name not in now or counter not in now[name]:
+                    line = "%s:%s[%s] missing from results" % (suite, name, counter)
+                    failures.append(line)
+                    print("  " + line)
+                    continue
+                b, n = base[name][counter], now[name][counter]
+                ratio = n / b if b > 0 else float("inf")
+                mark = ""
+                if ratio > threshold:
+                    mark = " REGRESSION"
+                    failures.append("%s:%s[%s] %.2fx over baseline"
+                                    % (suite, name, counter, ratio))
+                print("%-52s %10.1f %10.1f %7.2fx%s"
+                      % ("%s:%s[%s]" % (suite, name, counter), b, n, ratio, mark))
 
     if failures:
         print("\ncheck_bench: FAIL — gated suites regressed >%.0f%%:"

@@ -15,138 +15,12 @@
 #include <cstdlib>
 #include <string>
 
-#include "src/avm/assembler.h"
 #include "src/machine/machine.h"
+#include "src/workload/guest_programs.h"
 
 using namespace auragen;
-
-namespace {
-
-// Teller: opens ch:<name>, sends `count` transactions of fixed amount,
-// paced, then exits.
-Executable Teller(const std::string& channel, int count, int amount, int pace) {
-  return MustAssemble(R"(
-start:
-    li r1, name
-    li r2, 6
-    sys open
-    mov r10, r0
-    li r8, 0
-loop:
-    li r9, 0
-pace:
-    addi r9, r9, 1
-    li r11, )" + std::to_string(pace) + R"(
-    blt r9, r11, pace
-    li r11, buf
-    li r12, )" + std::to_string(amount) + R"(
-    st r12, r11, 0
-    mov r1, r10
-    li r2, buf
-    li r3, 4
-    sys write
-    addi r8, r8, 1
-    li r11, )" + std::to_string(count) + R"(
-    blt r8, r11, loop
-    exit 0
-.data
-name: .ascii ")" + channel + R"("
-buf: .word 0
-)");
-}
-
-// Account manager: bunches both teller channels, applies each transaction
-// to the balance, appends one byte per transaction to "txn.log", prints a
-// '.' every 8 transactions and the final balance in decimal at the end.
-Executable AccountManager(int total_txns) {
-  return MustAssemble(R"(
-start:
-    li r1, name_a
-    li r2, 6
-    sys open
-    mov r5, r0
-    li r1, name_b
-    li r2, 6
-    sys open
-    mov r6, r0
-    li r1, logname
-    li r2, 7
-    sys open
-    mov r7, r0          ; log fd
-    li r11, fds
-    st r5, r11, 0
-    st r6, r11, 4
-    li r1, fds
-    li r2, 2
-    sys bunch
-    mov r13, r0         ; group id
-    li r8, 0            ; txns applied
-loop:
-    mov r1, r13
-    sys which
-    mov r1, r0
-    li r2, buf
-    li r3, 4
-    sys read
-    li r11, buf
-    ld r2, r11, 0
-    li r11, balance
-    ld r3, r11, 0
-    add r3, r3, r2
-    st r3, r11, 0
-    ; append one byte to the log (blocks for the server's ack)
-    mov r1, r7
-    li r2, mark
-    li r3, 1
-    sys write
-    addi r8, r8, 1
-    ; progress dot every 8
-    li r11, 8
-    mod r12, r8, r11
-    li r11, 0
-    bne r12, r11, skip
-    li r1, 2
-    li r2, dot
-    li r3, 1
-    sys write
-skip:
-    li r11, )" + std::to_string(total_txns) + R"(
-    blt r8, r11, loop
-    ; print balance as four decimal digits
-    li r11, balance
-    ld r2, r11, 0
-    li r9, 1000
-    li r10, out
-    li r5, 48
-digits:
-    div r4, r2, r9
-    add r4, r4, r5
-    stb r4, r10, 0
-    mod r2, r2, r9
-    li r4, 10
-    div r9, r9, r4
-    addi r10, r10, 1
-    li r4, 0
-    bne r9, r4, digits
-    li r1, 2
-    li r2, out
-    li r3, 4
-    sys write
-    exit 0
-.data
-name_a: .ascii "ch:tla"
-name_b: .ascii "ch:tlb"
-logname: .ascii "txn.log"
-fds: .space 8
-buf: .word 0
-balance: .word 0
-mark: .ascii "#"
-dot: .ascii "."
-out: .space 8
-)");
-}
-
-}  // namespace
+using workload::AccountManager;
+using workload::Teller;
 
 int main(int argc, char** argv) {
   SimTime crash_at = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 70'000;

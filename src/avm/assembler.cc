@@ -260,6 +260,7 @@ const std::map<std::string, Sys>& SysNames() {
       {"sigset", Sys::kSigset}, {"sigret", Sys::kSigret}, {"yield", Sys::kYield},
       {"bunch", Sys::kBunch},   {"which", Sys::kWhich},   {"writev", Sys::kWritev},
       {"putc", Sys::kDebugPutc}, {"synchint", Sys::kSyncHint},
+      {"mark", Sys::kMark},
   };
   return kMap;
 }

@@ -20,7 +20,7 @@
 // Pseudo-instructions: call <label> (jal), ret (jr lr),
 // push <r> / pop <r>, exit <imm> (li r1,imm; halt).
 // `sys` accepts a number or a name: open close read write fork exit getpid
-// gettime alarm sigset sigret yield bunch which writev putc synchint.
+// gettime alarm sigset sigret yield bunch which writev putc synchint mark.
 
 #ifndef AURAGEN_SRC_AVM_ASSEMBLER_H_
 #define AURAGEN_SRC_AVM_ASSEMBLER_H_

@@ -112,6 +112,8 @@ enum class Sys : uint32_t {
                   // system; duplicates during rollforward by design (tests
                   // use it to observe recomputation)
   kSyncHint = 17, // ask the kernel to sync now (not required; tests/benches)
+  kMark = 18,     // r1=phase, r2=tag: record a kRequestMark trace event for
+                  // the SLO layer (src/workload); no observable guest effect
 };
 
 struct Instr {

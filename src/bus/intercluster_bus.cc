@@ -26,7 +26,7 @@ bool InterclusterBus::IsAttached(ClusterId cluster) const {
   return cluster < endpoints_.size() && endpoints_[cluster] != nullptr;
 }
 
-void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload) {
+void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload, bool urgent) {
   AURAGEN_CHECK(src < endpoints_.size());
   AURAGEN_CHECK(targets != 0) << "frame with no destinations";
   Frame frame;
@@ -39,14 +39,18 @@ void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload
     tracer_->Record(TraceEventKind::kBusTx, src, 0, 0, frame.frame_id,
                     frame.WireSize());
   }
-  pending_.push_back(std::move(frame));
+  if (urgent) {
+    urgent_pending_.push_back(std::move(frame));
+  } else {
+    pending_.push_back(std::move(frame));
+  }
   if (!transmitting_) {
     StartNext();
   }
 }
 
 void InterclusterBus::StartNext() {
-  if (pending_.empty()) {
+  if (pending_.empty() && urgent_pending_.empty()) {
     transmitting_ = false;
     return;
   }
@@ -58,8 +62,9 @@ void InterclusterBus::StartNext() {
     return;
   }
   transmitting_ = true;
-  Frame frame = std::move(pending_.front());
-  pending_.pop_front();
+  std::deque<Frame>& lane = urgent_pending_.empty() ? pending_ : urgent_pending_;
+  Frame frame = std::move(lane.front());
+  lane.pop_front();
 
   SimTime cost = config_.FrameTime(frame.WireSize());
   stats_.busy_us += cost;

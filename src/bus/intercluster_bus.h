@@ -92,7 +92,13 @@ class InterclusterBus {
   // is on a line at a time; queued frames go out FIFO. Delivery to all
   // targets happens at transmission-complete time, in target-cluster order
   // within the same instant.
-  void Transmit(ClusterId src, ClusterMask targets, Bytes payload);
+  //
+  // `urgent` frames model the low-level bus interface protocol (heartbeats,
+  // §7.10): they win arbitration over queued message frames, so liveness
+  // signaling is never delayed behind a deep data backlog. Urgent frames
+  // stay FIFO among themselves; the relative order of regular frames is
+  // untouched, so guarantee 2 still holds where it matters.
+  void Transmit(ClusterId src, ClusterMask targets, Bytes payload, bool urgent = false);
 
   // --- fault injection ---
   void FailLine(int line);     // line in {0,1}
@@ -118,6 +124,7 @@ class InterclusterBus {
   BusConfig config_;
   std::vector<BusEndpoint*> endpoints_;
   std::deque<Frame> pending_;
+  std::deque<Frame> urgent_pending_;  // heartbeat lane, wins arbitration
   bool transmitting_ = false;
   bool line_ok_[2] = {true, true};
   uint64_t next_frame_id_ = 1;

@@ -57,7 +57,16 @@ void Kernel::BroadcastCrashNotice(ClusterId dead) {
 }
 
 void Kernel::HandleCrashNotice(ClusterId dead) {
-  if (dead >= crash_handled_.size() || crash_handled_[dead] || dead == id_) {
+  if (dead == id_) {
+    // The rest of the machine has declared this cluster dead and is already
+    // committed to bringing up its backups. Continuing to run would be
+    // split-brain: two live copies of every process hosted here. Fail-stop
+    // semantics demand the accused side fence itself (§6).
+    ALOG_WARN() << "c" << id_ << ": fencing after crash notice naming self";
+    CrashNow();
+    return;
+  }
+  if (dead >= crash_handled_.size() || crash_handled_[dead]) {
     return;
   }
   crash_handled_[dead] = true;

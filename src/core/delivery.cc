@@ -265,6 +265,13 @@ void Kernel::DeliverLocal(const MsgView& msg) {
           ne.peer_kind = reply.peer_kind;
           ne.peer_mode = reply.peer_mode;
           ne.own_backup_cluster = id_;
+          // Same staleness hazard as the open-completion path: a held reply
+          // re-delivered after a crash names pre-crash peer clusters.
+          for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+            if (crash_handled_[c]) {
+              PatchEntryAfterCrash(ne, c);
+            }
+          }
         }
       }
     }

@@ -47,10 +47,12 @@ void Kernel::HeartbeatTick() {
   Msg beat;
   beat.header.kind = MsgKind::kHeartbeat;
   beat.header.src_pid = kernel_pid_;
-  // Heartbeats bypass the outgoing queue: the low-level bus protocol sends
-  // them even while crash handling has transmission of regular messages
-  // disabled (§7.10.1) — otherwise two simultaneous detections deadlock.
-  env_.bus().Transmit(id_, others, beat.Encode());
+  // Heartbeats bypass the outgoing queue AND win bus arbitration: the
+  // low-level bus interface protocol sends them even while crash handling
+  // has transmission of regular messages disabled (§7.10.1), and never
+  // behind a data backlog — a saturated bus must not read as a dead
+  // cluster, or every overload turns into a false takeover.
+  env_.bus().Transmit(id_, others, beat.Encode(), /*urgent=*/true);
   CheckPeers();
   env_.engine().Schedule(env_.config().heartbeat_period_us, [this] { HeartbeatTick(); });
 }

@@ -169,6 +169,15 @@ void Kernel::ConsumeMessage(Pcb& pcb, RoutingEntry& entry, int64_t max, bool rea
     ne.peer_mode = reply.peer_mode;
     ne.own_backup_cluster = pcb.backup_cluster;
     ne.opened_since_sync = true;
+    // A reply held over a crash (re-delivered to a restarted opener) carries
+    // the peer's pre-crash location. Apply the crashes this kernel has
+    // already handled, or the first send walks into a dead cluster and the
+    // save leg parks in a queue nothing will ever replay.
+    for (ClusterId c = 0; c < env_.config().num_clusters; ++c) {
+      if (crash_handled_[c]) {
+        PatchEntryAfterCrash(ne, c);
+      }
+    }
     pcb.fds[fd] = FdBinding{reply.channel, static_cast<PeerKind>(reply.peer_kind)};
     CompleteAndReady(pcb, fd);
     return;
@@ -352,6 +361,16 @@ void Kernel::DoSyscall(Pcb& pcb, const SyscallRequest& req) {
       env_.OnDebugPutc(pcb.pid, static_cast<char>(req.a));
       CompleteAndReady(pcb, 0);
       break;
+    case Sys::kMark:
+      // Workload SLO instrumentation: a = phase, b = request tag. Purely a
+      // trace emission — no guest-visible effect, so rollforward replay of
+      // a mark is harmless (the analyzer keeps the earliest issue mark).
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kRequestMark, id_, pcb.pid.value, 0,
+                        req.a, req.b);
+      }
+      CompleteAndReady(pcb, 0);
+      break;
     case Sys::kSyncHint:
       CompleteAndReady(pcb, 0);
       if (env_.config().strategy == FtStrategy::kMessageSystem) {
@@ -450,7 +469,13 @@ void Kernel::SysWrite(Pcb& pcb, const SyscallRequest& req, bool wants_answer) {
     CompleteAndReady(pcb, NegErr(Errc::kBadDescriptor));
     return;
   }
-  if (entry->closed_by_peer && entry->peer_backup_cluster == kNoCluster) {
+  if (entry->closed_by_peer && entry->peer_backup_cluster == kNoCluster &&
+      entry->writes_since_sync == 0) {
+    // kPeerGone is suppressed while a replay budget remains: a restarted
+    // process re-executing a send that succeeded before the crash must see
+    // it succeed again (§6 transparency), even if the peer has since closed
+    // the channel — the close is in this process's replayed future. The
+    // send itself is swallowed by the count check in SendOnChannel.
     CompleteAndReady(pcb, NegErr(Errc::kPeerGone));
     return;
   }

@@ -6,6 +6,7 @@
 #include "src/avm/assembler.h"
 #include "src/base/rng.h"
 #include "src/machine/machine.h"
+#include "src/workload/kv_service.h"
 
 namespace auragen {
 
@@ -280,11 +281,132 @@ ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& opt) {
   return result;
 }
 
+namespace {
+
+struct KvRunOutcome {
+  bool completed = false;
+  bool livelock = false;
+  bool converged = false;
+  uint64_t mismatches = 0;
+  uint64_t takeovers = 0;
+  uint64_t crashes_handled = 0;
+  TraceDigest trace_digest;
+};
+
+KvRunOutcome RunKvWorkload(const workload::KvOptions& kv, uint64_t seed,
+                           ClusterId victim, SimTime crash_rel_us,
+                           const CampaignOptions& opt) {
+  MachineOptions mo;
+  mo.config.num_clusters = opt.num_clusters;
+  mo.config.sync_reads_limit = 8;  // tight cadence: more recovery points
+  mo.config.sync_policy = opt.sync_policy;
+  mo.config.page_shards = opt.page_shards;
+  mo.seed = seed;
+  mo.trace.enabled = true;
+  mo.trace.unbounded = false;
+  mo.trace.ring_capacity = 4096;
+  Machine machine(mo);
+  machine.engine().set_dispatch_limit(opt.dispatch_limit);
+  machine.Boot();
+
+  workload::KvDeployment d = workload::DeployKv(machine, kv);
+  if (crash_rel_us != 0) {
+    machine.CrashClusterAt(machine.engine().Now() + crash_rel_us, victim);
+  }
+
+  KvRunOutcome out;
+  out.completed = machine.RunUntil(
+      [&] { return workload::KvClientsDone(machine, d); }, opt.run_cap_us);
+  machine.Settle();
+  out.livelock = machine.engine().dispatch_limit_hit();
+  out.mismatches = workload::KvMismatchTotal(machine, d);
+  out.takeovers = machine.metrics().takeovers;
+  out.crashes_handled = machine.metrics().crashes_handled;
+  out.trace_digest = machine.tracer()->digest();
+  out.converged = true;
+  for (ClusterId c = 0; c < opt.num_clusters; ++c) {
+    if (machine.ClusterAlive(c) && !machine.kernel(c).Quiescent()) {
+      out.converged = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& opt) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  workload::KvOptions kv;
+  kv.sessions = static_cast<uint32_t>(rng.Range(8, 25));
+  kv.partitions = static_cast<uint32_t>(rng.Range(2, 5));
+  kv.requests_per_session = static_cast<uint32_t>(rng.Range(4, 11));
+  kv.think_spin = static_cast<uint32_t>(rng.Range(8, 65));
+  kv.seed = seed;
+  const ClusterId victim = static_cast<ClusterId>(rng.Below(opt.num_clusters));
+  // Boot + deploy land around t=20ms; the request window opens ~1-2ms after
+  // that and spans several ms at these sizes, so this offset hits anywhere
+  // from "channels still opening" to "mid-stream" — both interesting.
+  const SimTime crash_rel_us = rng.Range(500, 9000);
+
+  ScenarioResult result;
+  result.seed = seed;
+  {
+    std::ostringstream os;
+    os << "kv-cluster-crash sessions=" << kv.sessions << " partitions="
+       << kv.partitions << " requests=" << kv.requests_per_session
+       << " think=" << kv.think_spin << " victim=c" << victim
+       << " at=+" << crash_rel_us << "us";
+    result.scenario = os.str();
+  }
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    if (!result.failure.empty()) {
+      result.failure += "; ";
+    }
+    result.failure += why;
+  };
+
+  KvRunOutcome ref = RunKvWorkload(kv, seed, 0, 0, opt);
+  if (!ref.completed) {
+    fail(ref.livelock ? "reference run hit the dispatch limit" : "reference run stalled");
+    return result;
+  }
+  if (ref.mismatches != 0) {
+    fail("reference run had verification mismatches");
+    return result;
+  }
+
+  KvRunOutcome got = RunKvWorkload(kv, seed, victim, crash_rel_us, opt);
+  result.takeovers = got.takeovers;
+  result.crashes_handled = got.crashes_handled;
+  if (got.livelock) {
+    fail("livelock: dispatch limit hit");
+  } else if (!got.completed) {
+    fail("stalled: a session never finished");
+  } else {
+    if (got.mismatches != 0) {
+      std::ostringstream os;
+      os << "acked-write loss: " << got.mismatches << " verification mismatches";
+      fail(os.str());
+    }
+    if (!got.converged) {
+      fail("a surviving cluster did not converge (kernel not quiescent after settle)");
+    }
+  }
+  if (result.ok && opt.check_determinism) {
+    KvRunOutcome replay = RunKvWorkload(kv, seed, victim, crash_rel_us, opt);
+    if (replay.trace_digest != got.trace_digest) {
+      fail("faulted run is nondeterministic: replay trace digest differs");
+    }
+  }
+  return result;
+}
+
 CampaignSummary RunCampaign(uint64_t first_seed, uint64_t count, const CampaignOptions& opt,
                             const std::function<void(const ScenarioResult&)>& on_result) {
   CampaignSummary summary;
   for (uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
-    ScenarioResult r = RunScenario(seed, opt);
+    ScenarioResult r = opt.kv_workload ? RunKvScenario(seed, opt) : RunScenario(seed, opt);
     summary.run++;
     // First token of Describe() is the scenario kind.
     summary.by_scenario[r.scenario.substr(0, r.scenario.find(' '))]++;

@@ -46,6 +46,10 @@ struct CampaignOptions {
   // replay) uses the same policy, so digests compare within one mode.
   SyncPolicy sync_policy;
   uint32_t page_shards = 1;
+  // Scenario family: false = producer/consumer pairs under seeded fault
+  // plans; true = the KV serving workload under seeded cluster crashes
+  // (RunKvScenario), with the no-acked-write-lost invariant.
+  bool kv_workload = false;
 };
 
 struct ScenarioResult {
@@ -59,6 +63,15 @@ struct ScenarioResult {
 };
 
 ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& options);
+
+// KV-serving variant (src/workload): each seed configures a small
+// partitioned KV deployment plus a seeded mid-run cluster crash. The
+// invariant under test is end-to-end: every session's verified private
+// writes survive the crash — a lost acked write surfaces as a nonzero
+// client verification count (exit status), a stuck session as an
+// incomplete run. Runs reference / faulted / optional determinism replay
+// like RunScenario.
+ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& options);
 
 struct CampaignSummary {
   uint64_t run = 0;

@@ -14,7 +14,10 @@
 
 namespace auragen {
 
-// Power-of-two bucketed histogram of microsecond intervals.
+// Power-of-two bucketed histogram of microsecond intervals. Each power-of-
+// two major bucket is subdivided into kSubBuckets log-linear sub-buckets
+// (HDR-histogram style), bounding Percentile() error to 1/kSubBuckets of
+// the value — tight enough to gate p99/p999 regressions at 20%.
 class LatencyHistogram {
  public:
   void Add(SimTime us);
@@ -27,12 +30,24 @@ class LatencyHistogram {
     return count_ == 0 ? 0.0 : static_cast<double>(total_us_) / static_cast<double>(count_);
   }
 
-  // "count=12 mean=34.5us min=3us max=96us | [4,8):2 [8,16):7 ..."
+  // Value at quantile q in [0,1]: the upper edge of the sub-bucket holding
+  // the ceil(q*count)-th smallest sample, clamped to [min_us, max_us].
+  SimTime Percentile(double q) const;
+  SimTime p50() const { return Percentile(0.50); }
+  SimTime p99() const { return Percentile(0.99); }
+  SimTime p999() const { return Percentile(0.999); }
+
+  // "count=12 mean=34.5us min=3us max=96us p50=12us p99=90us p999=96us
+  //  | [4,8):2 [8,16):7 ..."
   std::string ToString() const;
 
  private:
-  static constexpr int kBuckets = 40;  // [2^i, 2^(i+1)) us; bucket 0 = [0,1)
-  uint64_t buckets_[kBuckets] = {};
+  static constexpr int kBuckets = 40;     // [2^i, 2^(i+1)) us; bucket 0 = [0,2)
+  static constexpr int kSubBuckets = 16;  // log-linear slices per major bucket
+
+  static int MajorBucket(SimTime us);
+
+  uint64_t sub_buckets_[kBuckets][kSubBuckets] = {};
   uint64_t count_ = 0;
   SimTime total_us_ = 0;
   SimTime min_us_ = kSimForever;
@@ -52,6 +67,21 @@ struct TraceAnalysis {
   LatencyHistogram crash_to_dispatch;    // crash detect -> first dispatch
   LatencyHistogram crash_to_recovered;   // crash detect -> handling complete
   LatencyHistogram rollforward_replayed; // saved messages replayed per takeover
+
+  // Serving-workload SLO intervals (kRequestMark pairs from guest `sys
+  // mark`). Pairing keys on (gpid, tag) and keeps the *earliest* issue
+  // mark, so a request whose primary dies mid-flight is charged the full
+  // client-visible latency including detection and switchover.
+  LatencyHistogram request_latency;        // all completed requests
+  LatencyHistogram request_read_latency;   // op == 1 subset
+  LatencyHistogram request_write_latency;  // op == 2 subset
+  uint64_t requests_completed = 0;
+  uint64_t request_retries = 0;            // phase-3 marks (resend/switchover)
+  SimTime first_request_us = 0;            // earliest issue mark
+  SimTime last_request_done_us = 0;        // latest completion mark
+
+  // Completed requests per simulated second over the marked interval.
+  double RequestGoodputPerSec() const;
 
   std::string ToString() const;
 };

@@ -80,6 +80,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kSyncFlushBegin: return "sync-flush-begin";
     case TraceEventKind::kSyncFlushAck: return "sync-flush-ack";
     case TraceEventKind::kSyncAdaptive: return "sync-adaptive";
+    case TraceEventKind::kRequestMark: return "request-mark";
     case TraceEventKind::kEngineDispatch: return "engine-dispatch";
     case TraceEventKind::kMaxKind: break;
   }

@@ -89,6 +89,11 @@ enum class TraceEventKind : uint8_t {
   kSyncAdaptive = 56,    // trigger retuned; a = new time limit us, b = pages
                          // observed at the flush that caused the change
 
+  // Guest workload instrumentation (src/workload serving SLO layer).
+  kRequestMark = 57,     // guest `sys mark`; a = phase (1 = request issued,
+                         // 2 = reply received, 3 = retry/switchover),
+                         // b = request tag (op << 24 | request index)
+
   // Simulation engine (very high volume; masked out by default).
   kEngineDispatch = 60,  // a = event id
 

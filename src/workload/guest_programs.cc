@@ -1,24 +1,8 @@
-// Shared workload builders for the experiment benches (DESIGN.md §5).
-//
-// Each bench binary reproduces one qualitative claim from the paper's
-// evaluation (§2/§8) as a quantitative table; EXPERIMENTS.md records the
-// measured shapes against the claims. Benches run whole-machine simulations
-// per iteration, so they register with Iterations(1) and report simulated-
-// time/byte counters rather than host wall-time.
+#include "src/workload/guest_programs.h"
 
-#ifndef AURAGEN_BENCH_WORKLOADS_H_
-#define AURAGEN_BENCH_WORKLOADS_H_
+namespace auragen::workload {
 
-#include <string>
-
-#include "src/avm/assembler.h"
-#include "src/machine/machine.h"
-
-namespace auragen::bench {
-
-// Ping-pong pair: `rounds` request/reply exchanges over a paired channel,
-// then both exit. `tag` distinguishes channel names for concurrent pairs.
-inline Executable Pinger(const std::string& tag, int rounds) {
+Executable Pinger(const std::string& tag, int rounds) {
   return MustAssemble(R"(
 start:
     li r1, name
@@ -47,7 +31,7 @@ buf: .word 0
 )");
 }
 
-inline Executable Ponger(const std::string& tag, int rounds) {
+Executable Ponger(const std::string& tag, int rounds) {
   return MustAssemble(R"(
 start:
     li r1, name
@@ -74,10 +58,7 @@ buf: .word 0
 )");
 }
 
-// Compute worker touching `pages` distinct pages per round for `rounds`
-// rounds of `spin` loop iterations; reads one message per round from a
-// feeder (so read-triggered policies engage), then exits.
-inline Executable StatefulWorker(const std::string& tag, int rounds, int spin, int pages) {
+Executable StatefulWorker(const std::string& tag, int rounds, int spin, int pages) {
   return MustAssemble(R"(
 start:
     li r1, name
@@ -115,13 +96,8 @@ buf: .word 0
 )");
 }
 
-// StatefulWorker with a primed resident footprint: touches `cold` pages once
-// at startup (at 0xA000), then dirties only `hot` pages (at 0x6000) per
-// round. Separates sync modes that ship the whole resident set from
-// dirty-only ones: after the first sync the cold pages are clean but still
-// resident.
-inline Executable WideStatefulWorker(const std::string& tag, int rounds, int spin,
-                                     int hot, int cold) {
+Executable WideStatefulWorker(const std::string& tag, int rounds, int spin,
+                              int hot, int cold) {
   return MustAssemble(R"(
 start:
     li r1, name
@@ -168,8 +144,7 @@ buf: .word 0
 )");
 }
 
-// Feeder for StatefulWorker: sends `rounds` ticks then exits.
-inline Executable Feeder(const std::string& tag, int rounds, int pace = 500) {
+Executable Feeder(const std::string& tag, int rounds, int pace) {
   return MustAssemble(R"(
 start:
     li r1, name
@@ -199,8 +174,7 @@ buf: .word 0
 )");
 }
 
-// Pure compute: spins then exits (capacity benches).
-inline Executable ComputeJob(int total_spin) {
+Executable ComputeJob(int total_spin) {
   return MustAssemble(R"(
 start:
     li r9, 0
@@ -212,6 +186,123 @@ spin:
 )");
 }
 
-}  // namespace auragen::bench
+Executable Teller(const std::string& channel, int count, int amount, int pace) {
+  return MustAssemble(R"(
+start:
+    li r1, name
+    li r2, )" + std::to_string(channel.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0
+loop:
+    li r9, 0
+pace:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(pace) + R"(
+    blt r9, r11, pace
+    li r11, buf
+    li r12, )" + std::to_string(amount) + R"(
+    st r12, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    addi r8, r8, 1
+    li r11, )" + std::to_string(count) + R"(
+    blt r8, r11, loop
+    exit 0
+.data
+name: .ascii ")" + channel + R"("
+buf: .word 0
+)");
+}
 
-#endif  // AURAGEN_BENCH_WORKLOADS_H_
+Executable AccountManager(int total_txns) {
+  return MustAssemble(R"(
+start:
+    li r1, name_a
+    li r2, 6
+    sys open
+    mov r5, r0
+    li r1, name_b
+    li r2, 6
+    sys open
+    mov r6, r0
+    li r1, logname
+    li r2, 7
+    sys open
+    mov r7, r0          ; log fd
+    li r11, fds
+    st r5, r11, 0
+    st r6, r11, 4
+    li r1, fds
+    li r2, 2
+    sys bunch
+    mov r13, r0         ; group id
+    li r8, 0            ; txns applied
+loop:
+    mov r1, r13
+    sys which
+    mov r1, r0
+    li r2, buf
+    li r3, 4
+    sys read
+    li r11, buf
+    ld r2, r11, 0
+    li r11, balance
+    ld r3, r11, 0
+    add r3, r3, r2
+    st r3, r11, 0
+    ; append one byte to the log (blocks for the server's ack)
+    mov r1, r7
+    li r2, mark
+    li r3, 1
+    sys write
+    addi r8, r8, 1
+    ; progress dot every 8
+    li r11, 8
+    mod r12, r8, r11
+    li r11, 0
+    bne r12, r11, skip
+    li r1, 2
+    li r2, dot
+    li r3, 1
+    sys write
+skip:
+    li r11, )" + std::to_string(total_txns) + R"(
+    blt r8, r11, loop
+    ; print balance as four decimal digits
+    li r11, balance
+    ld r2, r11, 0
+    li r9, 1000
+    li r10, out
+    li r5, 48
+digits:
+    div r4, r2, r9
+    add r4, r4, r5
+    stb r4, r10, 0
+    mod r2, r2, r9
+    li r4, 10
+    div r9, r9, r4
+    addi r10, r10, 1
+    li r4, 0
+    bne r9, r4, digits
+    li r1, 2
+    li r2, out
+    li r3, 4
+    sys write
+    exit 0
+.data
+name_a: .ascii "ch:tla"
+name_b: .ascii "ch:tlb"
+logname: .ascii "txn.log"
+fds: .space 8
+buf: .word 0
+balance: .word 0
+mark: .ascii "#"
+dot: .ascii "."
+out: .space 8
+)");
+}
+
+}  // namespace auragen::workload

@@ -1,0 +1,57 @@
+// Shared AVM guest-program builders (DESIGN.md §15.1).
+//
+// Every workload in the repo — the experiment benches, the examples, the
+// fault campaign, and the KV serving subsystem — assembles its guest
+// programs from this one library so a fix to a builder propagates
+// everywhere. Builders return ready-to-spawn `Executable`s; parameters are
+// baked into the assembly source, so two calls with equal arguments yield
+// bit-identical images (the determinism contract extends through program
+// text).
+
+#ifndef AURAGEN_SRC_WORKLOAD_GUEST_PROGRAMS_H_
+#define AURAGEN_SRC_WORKLOAD_GUEST_PROGRAMS_H_
+
+#include <string>
+
+#include "src/avm/assembler.h"
+
+namespace auragen::workload {
+
+// Ping-pong pair: `rounds` request/reply exchanges over a paired channel,
+// then both exit. `tag` distinguishes channel names for concurrent pairs.
+Executable Pinger(const std::string& tag, int rounds);
+Executable Ponger(const std::string& tag, int rounds);
+
+// Compute worker touching `pages` distinct pages per round for `rounds`
+// rounds of `spin` loop iterations; reads one message per round from a
+// feeder (so read-triggered policies engage), then exits.
+Executable StatefulWorker(const std::string& tag, int rounds, int spin, int pages);
+
+// StatefulWorker with a primed resident footprint: touches `cold` pages once
+// at startup (at 0xA000), then dirties only `hot` pages (at 0x6000) per
+// round. Separates sync modes that ship the whole resident set from
+// dirty-only ones: after the first sync the cold pages are clean but still
+// resident.
+Executable WideStatefulWorker(const std::string& tag, int rounds, int spin,
+                              int hot, int cold);
+
+// Feeder for StatefulWorker: sends `rounds` ticks then exits.
+Executable Feeder(const std::string& tag, int rounds, int pace = 500);
+
+// Pure compute: spins then exits (capacity benches).
+Executable ComputeJob(int total_spin);
+
+// Bank-OLTP teller (the paper's §3 motivating workload): opens `channel`
+// (full "ch:..." name), sends `count` transactions of fixed `amount`,
+// paced by a `pace` spin loop, then exits.
+Executable Teller(const std::string& channel, int count, int amount, int pace);
+
+// Bank-OLTP account manager: bunches both teller channels (ch:tla/ch:tlb),
+// applies each transaction to the balance, appends one byte per transaction
+// to "txn.log", prints a '.' every 8 transactions and the final balance as
+// four decimal digits.
+Executable AccountManager(int total_txns);
+
+}  // namespace auragen::workload
+
+#endif  // AURAGEN_SRC_WORKLOAD_GUEST_PROGRAMS_H_

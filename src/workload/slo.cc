@@ -1,0 +1,61 @@
+#include "src/workload/slo.h"
+
+#include <cstdio>
+
+namespace auragen::workload {
+
+std::string SloReport::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "sessions=%llu complete=%s mismatches=%llu\n",
+                static_cast<unsigned long long>(sessions),
+                complete ? "yes" : "NO",
+                static_cast<unsigned long long>(mismatches));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "requests=%llu retries=%llu goodput=%.1f req/s over %.3fs\n",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(retries), goodput_rps,
+                duration_s);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "latency mean=%.1fus p50=%lluus p99=%lluus p999=%lluus "
+                "max=%lluus (read p99=%lluus, write p99=%lluus)\n",
+                mean_us, static_cast<unsigned long long>(p50_us),
+                static_cast<unsigned long long>(p99_us),
+                static_cast<unsigned long long>(p999_us),
+                static_cast<unsigned long long>(max_us),
+                static_cast<unsigned long long>(read_p99_us),
+                static_cast<unsigned long long>(write_p99_us));
+  out += buf;
+  return out;
+}
+
+SloReport BuildSloReport(const std::vector<TraceEvent>& events,
+                         const Machine& machine, const KvDeployment& d,
+                         bool clients_done) {
+  const TraceAnalysis analysis = AnalyzeTrace(events);
+  SloReport r;
+  r.sessions = d.clients.size();
+  r.mismatches = KvMismatchTotal(machine, d);
+  r.complete = clients_done;
+  r.completed = analysis.requests_completed;
+  r.retries = analysis.request_retries;
+  r.mean_us = analysis.request_latency.mean_us();
+  r.p50_us = analysis.request_latency.p50();
+  r.p99_us = analysis.request_latency.p99();
+  r.p999_us = analysis.request_latency.p999();
+  r.max_us = analysis.request_latency.max_us();
+  r.read_p99_us = analysis.request_read_latency.p99();
+  r.write_p99_us = analysis.request_write_latency.p99();
+  r.goodput_rps = analysis.RequestGoodputPerSec();
+  if (analysis.last_request_done_us > analysis.first_request_us) {
+    r.duration_s = static_cast<double>(analysis.last_request_done_us -
+                                       analysis.first_request_us) /
+                   1e6;
+  }
+  return r;
+}
+
+}  // namespace auragen::workload

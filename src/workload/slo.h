@@ -1,0 +1,52 @@
+// SLO reporting for the serving workload (DESIGN.md §15.3): folds the
+// kRequestMark events a run produced into client-observed tail latency and
+// goodput, and combines them with the deployment's correctness counters.
+
+#ifndef AURAGEN_SRC_WORKLOAD_SLO_H_
+#define AURAGEN_SRC_WORKLOAD_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/analysis.h"
+#include "src/trace/trace.h"
+#include "src/workload/kv_service.h"
+
+namespace auragen::workload {
+
+struct SloReport {
+  // Correctness.
+  uint64_t sessions = 0;
+  uint64_t mismatches = 0;   // lost acked writes / bad read-your-own-writes
+  bool complete = false;     // every session ran to completion
+
+  // Client-observed latency (microseconds of simulated time).
+  uint64_t completed = 0;    // requests with paired issue/completion marks
+  uint64_t retries = 0;      // client resend/switchover events
+  double mean_us = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+  uint64_t read_p99_us = 0;
+  uint64_t write_p99_us = 0;
+
+  // Throughput over the marked interval.
+  double goodput_rps = 0.0;
+  double duration_s = 0.0;
+
+  std::string ToString() const;
+};
+
+// Builds the report from a finished run's trace events and deployment.
+// `complete` also requires KvClientsDone to have held when the caller
+// stopped the machine; pass it explicitly since the machine may have been
+// stopped on a timeout.
+SloReport BuildSloReport(const std::vector<TraceEvent>& events,
+                         const Machine& machine, const KvDeployment& d,
+                         bool clients_done);
+
+}  // namespace auragen::workload
+
+#endif  // AURAGEN_SRC_WORKLOAD_SLO_H_

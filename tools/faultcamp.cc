@@ -16,10 +16,14 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
-               "                 [--clusters C] [--sync-mode M] [--adaptive-sync]\n"
-               "                 [--page-shards P] [--no-determinism] [--verbose]\n"
+               "                 [--workload W] [--clusters C] [--sync-mode M]\n"
+               "                 [--adaptive-sync] [--page-shards P]\n"
+               "                 [--no-determinism] [--verbose]\n"
                "\n"
                "  --seeds N          run seeds [start, start+N) (default 200)\n"
+               "  --workload W       pairs | kv (default pairs); kv runs the\n"
+               "                     serving workload under seeded cluster\n"
+               "                     crashes and checks no acked write is lost\n"
                "  --start S          first seed (default 1)\n"
                "  --seed X           run exactly one seed, verbosely\n"
                "  --plan             with --seed: print the fault plan and exit\n"
@@ -64,6 +68,17 @@ int main(int argc, char** argv) {
       single_seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--plan") {
       plan_only = true;
+    } else if (arg == "--workload") {
+      std::string w = next();
+      if (w == "pairs") {
+        opt.kv_workload = false;
+      } else if (w == "kv") {
+        opt.kv_workload = true;
+      } else {
+        std::fprintf(stderr, "faultcamp: unknown workload '%s'\n", w.c_str());
+        Usage();
+        return 2;
+      }
     } else if (arg == "--clusters") {
       opt.num_clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--sync-mode") {
@@ -99,11 +114,16 @@ int main(int argc, char** argv) {
 
   if (single) {
     if (plan_only) {
+      if (opt.kv_workload) {
+        std::fprintf(stderr, "faultcamp: --plan applies to the pairs workload only\n");
+        return 2;
+      }
       std::printf("seed %llu: %s\n", static_cast<unsigned long long>(single_seed),
                   auragen::MakeScenarioPlan(single_seed, opt).Describe().c_str());
       return 0;
     }
-    ScenarioResult r = auragen::RunScenario(single_seed, opt);
+    ScenarioResult r = opt.kv_workload ? auragen::RunKvScenario(single_seed, opt)
+                                       : auragen::RunScenario(single_seed, opt);
     std::printf("seed %llu: %s  [%s]\n", static_cast<unsigned long long>(r.seed),
                 r.ok ? "PASS" : "FAIL", r.scenario.c_str());
     std::printf("  takeovers=%llu crashes_handled=%llu tty_dups=%llu\n",
