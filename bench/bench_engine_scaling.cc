@@ -1,0 +1,115 @@
+// E11 — parallel engine scaling (DESIGN.md §16): events/s of the sharded
+// conservative-window engine versus worker-thread count, on machine-shaped
+// topologies (8 and 32 clusters, shard 0 = shared bus).
+//
+//   events_per_s   dispatched simulation events per wall-clock second
+//   threads        worker threads driving the windows
+//   digest_ok      1 iff this run's trace digest is bit-identical to the
+//                  sequential (threads=1) run of the same topology/seed
+//
+// Every row re-checks the determinism oracle: a parallel engine that is
+// fast but drifts from the sequential digest is a broken engine, not a fast
+// one, and the row aborts. Wall-clock speedup needs real cores — on a
+// single-core runner threads>1 rows measure synchronization overhead, which
+// is itself worth tracking — so the baseline gates each row against its own
+// history rather than asserting cross-row ratios.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/sim/cluster_model.h"
+#include "src/sim/sharded_engine.h"
+#include "src/trace/trace.h"
+
+namespace auragen::bench {
+namespace {
+
+constexpr SimTime kHorizonUs = 60'000;
+constexpr uint64_t kSeed = 1;
+
+struct RunResult {
+  uint64_t dispatched = 0;
+  uint64_t fingerprint = 0;
+  uint64_t digest_hash = 0;
+  uint64_t digest_count = 0;
+};
+
+RunResult RunModel(uint32_t clusters, uint32_t threads) {
+  ShardedEngineOptions seo;
+  seo.num_shards = 1 + clusters;
+  seo.threads = threads;
+  seo.lookahead_us = 2;
+  ShardedEngine engine(seo);
+  TraceOptions to;
+  to.enabled = true;
+  to.unbounded = false;  // flight-recorder ring: digest covers everything
+  to.ring_capacity = 1024;
+  Tracer tracer(to);
+  engine.set_tracer(&tracer);
+  ClusterModelOptions cmo;
+  cmo.clusters = clusters;
+  cmo.seed = kSeed;
+  cmo.horizon_us = kHorizonUs;
+  ClusterModel model(engine, cmo);
+  model.Install();
+  RunResult r;
+  r.dispatched = engine.Run();
+  r.fingerprint = model.Fingerprint();
+  r.digest_hash = tracer.digest().hash;
+  r.digest_count = tracer.digest().count;
+  return r;
+}
+
+// Sequential reference per topology, computed once (untimed) and shared by
+// every thread-count row of that topology.
+const RunResult& Reference(uint32_t clusters) {
+  static std::map<uint32_t, RunResult> refs;
+  auto it = refs.find(clusters);
+  if (it == refs.end()) {
+    it = refs.emplace(clusters, RunModel(clusters, 1)).first;
+  }
+  return it->second;
+}
+
+void BM_EngineScaling(benchmark::State& state) {
+  const uint32_t clusters = static_cast<uint32_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  const RunResult& want = Reference(clusters);
+
+  uint64_t dispatched = 0;
+  RunResult got;
+  for (auto _ : state) {
+    got = RunModel(clusters, threads);
+    dispatched += got.dispatched;
+  }
+
+  const bool digest_ok = got.fingerprint == want.fingerprint &&
+                         got.digest_hash == want.digest_hash &&
+                         got.digest_count == want.digest_count;
+  if (!digest_ok) {
+    state.SkipWithError("parallel run diverged from the sequential digest");
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+  state.counters["threads"] = threads;
+  state.counters["digest_ok"] = digest_ok ? 1 : 0;
+}
+
+BENCHMARK(BM_EngineScaling)
+    ->ArgNames({"clusters", "threads"})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace auragen::bench
+
+BENCHMARK_MAIN();

@@ -4,9 +4,15 @@
 
 namespace auragen {
 
+thread_local std::function<SimTime()> Logger::time_source_;
+
 Logger& Logger::Get() {
   static Logger logger;
   return logger;
+}
+
+void Logger::set_time_source(std::function<SimTime()> source) {
+  time_source_ = std::move(source);
 }
 
 void Logger::Emit(LogLevel level, const std::string& msg) {

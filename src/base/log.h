@@ -27,13 +27,16 @@ class Logger {
   bool Enabled(LogLevel level) const { return level >= level_; }
 
   // The simulation engine installs itself here so log lines carry sim time.
-  void set_time_source(std::function<SimTime()> source) { time_source_ = std::move(source); }
+  // Thread-local: parallel campaign workers each run their own Machine (and
+  // so their own Engine clock) — a process-global source would race and
+  // stamp one machine's lines with another's clock.
+  void set_time_source(std::function<SimTime()> source);
 
   void Emit(LogLevel level, const std::string& msg);
 
  private:
   LogLevel level_ = LogLevel::kOff;
-  std::function<SimTime()> time_source_;
+  static thread_local std::function<SimTime()> time_source_;
 };
 
 namespace internal {

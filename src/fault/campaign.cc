@@ -1,6 +1,8 @@
 #include "src/fault/campaign.h"
 
+#include <atomic>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "src/avm/assembler.h"
@@ -251,6 +253,7 @@ ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& opt) {
   result.takeovers = got.takeovers;
   result.crashes_handled = got.crashes_handled;
   result.tty_duplicates = got.duplicates;
+  result.trace_digest = got.trace_digest;
   if (got.livelock) {
     fail("livelock: dispatch limit hit");
   } else if (!got.completed) {
@@ -379,6 +382,7 @@ ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& opt) {
   KvRunOutcome got = RunKvWorkload(kv, seed, victim, crash_rel_us, opt);
   result.takeovers = got.takeovers;
   result.crashes_handled = got.crashes_handled;
+  result.trace_digest = got.trace_digest;
   if (got.livelock) {
     fail("livelock: dispatch limit hit");
   } else if (!got.completed) {
@@ -404,9 +408,42 @@ ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& opt) {
 
 CampaignSummary RunCampaign(uint64_t first_seed, uint64_t count, const CampaignOptions& opt,
                             const std::function<void(const ScenarioResult&)>& on_result) {
+  std::vector<ScenarioResult> results(count);
+  auto run_one = [&](uint64_t index) {
+    uint64_t seed = first_seed + index;
+    results[index] = opt.kv_workload ? RunKvScenario(seed, opt) : RunScenario(seed, opt);
+  };
+
+  uint32_t workers = std::max<uint32_t>(1, opt.engine_threads);
+  workers = static_cast<uint32_t>(std::min<uint64_t>(workers, count));
+  if (workers <= 1) {
+    for (uint64_t i = 0; i < count; ++i) {
+      run_one(i);
+    }
+  } else {
+    // Seeds are independent deterministic simulations; a shared ticket
+    // spreads them over the pool. Each result lands in its own slot, so the
+    // aggregation below sees the exact sequential outcome, in seed order.
+    std::atomic<uint64_t> next{0};
+    auto pull = [&] {
+      uint64_t i;
+      while ((i = next.fetch_add(1, std::memory_order_relaxed)) < count) {
+        run_one(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (uint32_t t = 0; t + 1 < workers; ++t) {
+      pool.emplace_back(pull);
+    }
+    pull();
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
   CampaignSummary summary;
-  for (uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
-    ScenarioResult r = opt.kv_workload ? RunKvScenario(seed, opt) : RunScenario(seed, opt);
+  for (const ScenarioResult& r : results) {
     summary.run++;
     // First token of Describe() is the scenario kind.
     summary.by_scenario[r.scenario.substr(0, r.scenario.find(' '))]++;

@@ -32,6 +32,7 @@
 
 #include "src/core/config.h"
 #include "src/fault/fault_plan.h"
+#include "src/trace/trace.h"
 
 namespace auragen {
 
@@ -50,6 +51,12 @@ struct CampaignOptions {
   // plans; true = the KV serving workload under seeded cluster crashes
   // (RunKvScenario), with the no-acked-write-lost invariant.
   bool kv_workload = false;
+  // Worker threads running seeds concurrently. Each seed is still simulated
+  // by its own deterministic single-machine runs, so every ScenarioResult —
+  // including its trace digest — is bit-identical to a threads=1 campaign;
+  // only wall clock changes. Results are aggregated and reported in seed
+  // order regardless of completion order.
+  uint32_t engine_threads = 1;
 };
 
 struct ScenarioResult {
@@ -60,6 +67,9 @@ struct ScenarioResult {
   uint64_t takeovers = 0;
   uint64_t crashes_handled = 0;
   uint64_t tty_duplicates = 0;
+  // Machine trace digest of the faulted run: the cross-mode equivalence
+  // oracle (a parallel campaign must reproduce it seed for seed).
+  TraceDigest trace_digest;
 };
 
 ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& options);

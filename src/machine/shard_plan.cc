@@ -1,0 +1,41 @@
+#include "src/machine/shard_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/log.h"
+
+namespace auragen {
+
+ShardedEngineOptions ShardPlan::EngineOptions(uint32_t threads) const {
+  ShardedEngineOptions opt;
+  opt.num_shards = num_shards;
+  opt.threads = threads;
+  opt.lookahead_us = lookahead_us;
+  return opt;
+}
+
+std::string ShardPlan::Describe() const {
+  std::ostringstream os;
+  os << "shards=" << num_shards << " (shared=0, clusters=1.." << (num_shards - 1)
+     << ") lookahead=" << lookahead_us << "us";
+  return os.str();
+}
+
+ShardPlan MakeShardPlan(const SystemConfig& config, const DiskConfig& disk) {
+  AURAGEN_CHECK(config.num_clusters >= 1) << "a machine needs at least one cluster";
+  ShardPlan plan;
+  plan.num_shards = 1 + config.num_clusters;
+  // The soonest any shard can affect another: a cluster reaches the shared
+  // shard no earlier than bus arbitration, and the shared shard reaches a
+  // cluster no earlier than the smaller of a zero-byte bus frame and a disk
+  // completion. Both directions bound below by the arbitration time.
+  plan.lookahead_us = std::min(config.bus.arbitration_us, disk.seek_us);
+  AURAGEN_CHECK(plan.lookahead_us >= 1)
+      << "derived lookahead is zero: a zero-latency bus/disk leaves no "
+         "conservative window (raise BusConfig::arbitration_us or "
+         "DiskConfig::seek_us)";
+  return plan;
+}
+
+}  // namespace auragen

@@ -1,0 +1,51 @@
+// ShardPlan: how a machine topology maps onto ShardedEngine shards, and
+// where the conservative lookahead comes from.
+//
+// The plan is the integration seam between the Machine's configuration and
+// the parallel engine (sim/sharded_engine.h): shard 0 hosts every shared
+// component (intercluster bus arbitration, disks, the page/process servers'
+// bus-facing side), and shard 1+c hosts cluster c — its work processors,
+// executive, kernel timers. The lookahead is derived, not chosen: it is the
+// minimum latency by which any shard can affect another, which in this
+// machine is the smaller of the bus arbitration time (cluster -> bus) and
+// the disk seek floor (bus -> disk completion). §5.1's atomic-broadcast bus
+// guarantees no cluster observes a remote effect sooner than that.
+//
+// The synthetic ClusterModel (sim/cluster_model.h) uses the same layout, so
+// scaling results measured there transfer to the machine integration.
+
+#ifndef AURAGEN_SRC_MACHINE_SHARD_PLAN_H_
+#define AURAGEN_SRC_MACHINE_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/types.h"
+#include "src/core/config.h"
+#include "src/disk/disk.h"
+#include "src/sim/sharded_engine.h"
+
+namespace auragen {
+
+struct ShardPlan {
+  uint32_t num_shards = 2;     // 1 shared + one per cluster
+  SimTime lookahead_us = 1;    // min cross-shard model latency
+
+  ShardId shard_of_cluster(ClusterId c) const { return 1 + c; }
+  ShardId shared_shard() const { return kSharedShard; }
+
+  // Engine options realizing this plan with the given worker count.
+  ShardedEngineOptions EngineOptions(uint32_t threads) const;
+
+  std::string Describe() const;
+};
+
+// Derives the plan from the machine configuration. Checks that the derived
+// lookahead is a usable (>= 1us) conservative window — a zero-latency bus
+// or disk would serialize the shards and is rejected loudly rather than
+// silently degrading.
+ShardPlan MakeShardPlan(const SystemConfig& config, const DiskConfig& disk);
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_MACHINE_SHARD_PLAN_H_

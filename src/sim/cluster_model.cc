@@ -1,0 +1,97 @@
+#include "src/sim/cluster_model.h"
+
+namespace auragen {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Mix(uint64_t h, uint64_t w) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (w >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusterModel::ClusterModel(ShardedEngine& engine, ClusterModelOptions options)
+    : engine_(engine), opt_(options) {
+  AURAGEN_CHECK(opt_.clusters >= 2) << "the model needs a destination to send to";
+  AURAGEN_CHECK(engine_.num_shards() == 1 + opt_.clusters)
+      << "engine shards (" << engine_.num_shards() << ") != 1 + clusters ("
+      << opt_.clusters << ")";
+  AURAGEN_CHECK(opt_.arbitration_us >= engine_.lookahead())
+      << "bus arbitration below the engine lookahead breaks the contract";
+  AURAGEN_CHECK(opt_.frame_time_us >= engine_.lookahead())
+      << "frame transit below the engine lookahead breaks the contract";
+  clusters_.resize(opt_.clusters);
+  for (ClusterId c = 0; c < opt_.clusters; ++c) {
+    clusters_[c].rng = Rng(opt_.seed * 0x9e3779b97f4a7c15ull + c + 1);
+  }
+}
+
+void ClusterModel::Install() {
+  for (ClusterId c = 0; c < opt_.clusters; ++c) {
+    // Stagger starts so clusters don't tick in lockstep.
+    engine_.ScheduleOn(ShardOfCluster(c), 1 + (c % 3), [this, c] { Quantum(c); });
+  }
+}
+
+void ClusterModel::Quantum(ClusterId c) {
+  PerCluster& pc = clusters_[c];
+  ++pc.quanta;
+  // The AVM stand-in: a seeded mix loop whose result feeds the fingerprint,
+  // so reordering or dropping work is observable.
+  uint64_t h = pc.accum;
+  for (uint32_t i = 0; i < opt_.work_per_event; ++i) {
+    h = Mix(h, pc.rng.Next());
+  }
+  pc.accum = h;
+  if (++pc.since_send >= opt_.send_every) {
+    pc.since_send = 0;
+    // Transmit: reaches the shared bus shard after the arbitration latency —
+    // the minimum intercluster effect latency that defines the lookahead.
+    uint64_t payload = pc.accum;
+    engine_.Trace(TraceEventKind::kSend, c, pc.quanta, 0, payload & 0xffff, 0);
+    engine_.ScheduleOn(kSharedShard, opt_.arbitration_us,
+                       [this, c, payload] { BusAccept(c, payload); });
+  }
+  SimTime now = engine_.ShardNow(ShardOfCluster(c));
+  SimTime next = opt_.quantum_us + pc.rng.Below(2);
+  if (now + next <= opt_.horizon_us) {
+    engine_.ScheduleOn(ShardOfCluster(c), next, [this, c] { Quantum(c); });
+  }
+}
+
+void ClusterModel::BusAccept(ClusterId src, uint64_t payload) {
+  uint64_t frame_id = ++bus_frames_;
+  // Deterministic destination spread, chosen from bus-shard state only.
+  ClusterId dst =
+      static_cast<ClusterId>((src + 1 + frame_id % (opt_.clusters - 1)) % opt_.clusters);
+  engine_.Trace(TraceEventKind::kBusTx, src, 0, 0, frame_id, payload & 0xffff);
+  engine_.ScheduleOn(ShardOfCluster(dst), opt_.frame_time_us,
+                     [this, dst, frame_id, payload] { Deliver(dst, frame_id, payload); });
+}
+
+void ClusterModel::Deliver(ClusterId dst, uint64_t frame_id, uint64_t payload) {
+  PerCluster& pc = clusters_[dst];
+  ++pc.delivered;
+  pc.accum = Mix(pc.accum, payload);
+  engine_.Trace(TraceEventKind::kBusRx, dst, 0, 0, frame_id,
+                engine_.ShardNow(ShardOfCluster(dst)));
+}
+
+uint64_t ClusterModel::Fingerprint() const {
+  uint64_t h = 14695981039346656037ull;
+  for (const PerCluster& pc : clusters_) {
+    h = Mix(h, pc.accum);
+    h = Mix(h, pc.quanta);
+    h = Mix(h, pc.delivered);
+  }
+  h = Mix(h, bus_frames_);
+  return h;
+}
+
+}  // namespace auragen

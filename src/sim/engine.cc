@@ -1,16 +1,20 @@
 #include "src/sim/engine.h"
 
-#include <algorithm>
-
 #include "src/base/log.h"
 
 namespace auragen {
 
-Engine::Engine() {
+Engine::Engine() : owns_log_clock_(true) {
   Logger::Get().set_time_source([this] { return now_; });
 }
 
-Engine::~Engine() { Logger::Get().set_time_source({}); }
+Engine::Engine(NoLogClockTag) {}
+
+Engine::~Engine() {
+  if (owns_log_clock_) {
+    Logger::Get().set_time_source({});
+  }
+}
 
 EventId Engine::Schedule(SimTime delay, Task fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -18,26 +22,36 @@ EventId Engine::Schedule(SimTime delay, Task fn) {
 
 EventId Engine::ScheduleAt(SimTime when, Task fn) {
   AURAGEN_CHECK(when >= now_) << "scheduling into the past:" << when << "<" << now_;
-  EventId id = next_id_++;
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    slots_[slot] = std::move(fn);
+    slots_[slot].task = std::move(fn);
   } else {
     slot = static_cast<uint32_t>(slots_.size());
-    slots_.push_back(std::move(fn));
+    slots_.push_back(Slot{std::move(fn), 1});
   }
-  queue_.push(Event{when, id, slot});
+  queue_.push(Event{when, next_seq_++, slot, slots_[slot].gen});
   ++live_events_;
-  return id;
+  return MakeId(slot, slots_[slot].gen);
 }
 
 void Engine::Cancel(EventId id) {
   if (id == kNoEvent) {
     return;
   }
-  cancelled_.push_back(id);
+  uint32_t slot = static_cast<uint32_t>(id >> 32) - 1;
+  uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return;  // already fired, already cancelled, or not ours: no-op
+  }
+  // Kill the pending event in place: destroy the callable now (it may pin
+  // buffers), advance the generation so the heap entry is skipped when it
+  // surfaces. The slot returns to the free list at that point — not here —
+  // so each slot keeps exactly one outstanding heap entry.
+  slots_[slot].task = Task();
+  ++slots_[slot].gen;
+  --live_events_;
 }
 
 bool Engine::Step(SimTime until) {
@@ -47,24 +61,38 @@ bool Engine::Step(SimTime until) {
     }
     Event ev = queue_.top();
     queue_.pop();
-    --live_events_;
-    Task fn = std::move(slots_[ev.slot]);
-    free_slots_.push_back(ev.slot);
-    if (!cancelled_.empty() &&
-        std::find(cancelled_.begin(), cancelled_.end(), ev.id) != cancelled_.end()) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
-                       cancelled_.end());
+    if (slots_[ev.slot].gen != ev.gen) {
+      // Cancelled while pending; the slot is free for reuse now that its
+      // heap entry is gone.
+      free_slots_.push_back(ev.slot);
       continue;
     }
+    --live_events_;
+    Task fn = std::move(slots_[ev.slot].task);
+    ++slots_[ev.slot].gen;
+    free_slots_.push_back(ev.slot);
     now_ = ev.when;
     ++dispatched_;
+    last_dispatched_ = MakeId(ev.slot, ev.gen);
     if (tracer_ != nullptr) {
-      tracer_->Record(TraceEventKind::kEngineDispatch, kNoCluster, 0, 0, ev.id, 0);
+      tracer_->Record(TraceEventKind::kEngineDispatch, kNoCluster, 0, 0, last_dispatched_, 0);
     }
     fn();
     return true;
   }
   return false;
+}
+
+SimTime Engine::NextEventTime() const {
+  // Stale (cancelled) entries can only sit at the top transiently — they are
+  // popped by Step as they surface — but a caller may probe before any Step.
+  // The top entry's time is still a lower bound; for exactness, skip ahead
+  // only when the engine has no live work at all.
+  if (live_events_ == 0) {
+    return kSimForever;
+  }
+  AURAGEN_CHECK(!queue_.empty());
+  return queue_.top().when;
 }
 
 uint64_t Engine::Run(SimTime until) {
@@ -73,12 +101,12 @@ uint64_t Engine::Run(SimTime until) {
   while (!stop_requested_ && Step(until)) {
     ++n;
   }
-  if (queue_.empty()) {
-    cancelled_.clear();
-  }
   // Advance the clock to `until` when the horizon, not queue exhaustion,
-  // ended the run — callers treat Run(t) as "simulate through t".
-  if (until != kSimForever && now_ < until && !stop_requested_) {
+  // ended the run — callers treat Run(t) as "simulate through t". A run cut
+  // short by Stop() or the dispatch-limit livelock guard did NOT simulate
+  // through the horizon, so its clock stays at the last earned instant
+  // (fault-campaign invariant checks compare against this clock).
+  if (until != kSimForever && now_ < until && !stop_requested_ && !dispatch_limit_hit()) {
     now_ = until;
   }
   return n;

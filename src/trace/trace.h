@@ -171,6 +171,14 @@ class Tracer {
   void Record(TraceEventKind kind, ClusterId cluster, uint64_t gpid, uint64_t channel,
               uint64_t a, uint64_t b);
 
+  // Record with an explicit timestamp instead of the clock callback. This is
+  // the sink of ShardedEngine's deterministic multi-stream merge: per-shard
+  // streams carry their own shard-local timestamps, and the merge replays
+  // them here in (ts, shard, shard-order) order so the folded digest is a
+  // pure function of the per-shard streams — identical at any thread count.
+  void RecordAt(SimTime ts, TraceEventKind kind, ClusterId cluster, uint64_t gpid,
+                uint64_t channel, uint64_t a, uint64_t b);
+
   // Events currently held, oldest first (the full run when unbounded; the
   // tail of the run in ring mode).
   std::vector<TraceEvent> Events() const;

@@ -127,5 +127,24 @@ TEST(FaultCampaign, RegressionSeedsStayFixed) {
   }
 }
 
+// A parallel campaign (seeds spread over a worker pool) must reproduce the
+// sequential campaign seed for seed — same outcomes, same trace digests.
+TEST(FaultCampaign, ParallelSeedsMatchSequential) {
+  CampaignOptions opt;
+  opt.check_determinism = false;
+  std::vector<ScenarioResult> seq;
+  RunCampaign(1, 8, opt, [&](const ScenarioResult& r) { seq.push_back(r); });
+  opt.engine_threads = 3;
+  std::vector<ScenarioResult> par;
+  RunCampaign(1, 8, opt, [&](const ScenarioResult& r) { par.push_back(r); });
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].seed, par[i].seed) << "results must arrive in seed order";
+    EXPECT_EQ(seq[i].ok, par[i].ok) << "seed " << seq[i].seed;
+    EXPECT_EQ(seq[i].trace_digest, par[i].trace_digest) << "seed " << seq[i].seed;
+    EXPECT_EQ(seq[i].scenario, par[i].scenario) << "seed " << seq[i].seed;
+  }
+}
+
 }  // namespace
 }  // namespace auragen

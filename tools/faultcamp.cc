@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/fault/campaign.h"
 
@@ -18,6 +19,7 @@ void Usage() {
                "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
                "                 [--workload W] [--clusters C] [--sync-mode M]\n"
                "                 [--adaptive-sync] [--page-shards P]\n"
+               "                 [--engine-threads T] [--cross-check]\n"
                "                 [--no-determinism] [--verbose]\n"
                "\n"
                "  --seeds N          run seeds [start, start+N) (default 200)\n"
@@ -32,6 +34,11 @@ void Usage() {
                "                     (default incremental)\n"
                "  --adaptive-sync    adapt the time-based sync trigger to dirty rate\n"
                "  --page-shards P    page-server shards (default 1)\n"
+               "  --engine-threads T seeds simulated concurrently (default 1);\n"
+               "                     results and digests are identical to T=1\n"
+               "  --cross-check      run the campaign sequentially AND at\n"
+               "                     --engine-threads, and require every seed's\n"
+               "                     outcome + trace digest to match exactly\n"
                "  --no-determinism   skip the replay/trace-digest check (3x -> 2x runs)\n"
                "  --verbose          print every scenario, not just failures\n");
 }
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   uint64_t single_seed = 0;
   bool plan_only = false;
   bool verbose = false;
+  bool cross_check = false;
   CampaignOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +106,10 @@ int main(int argc, char** argv) {
       opt.sync_policy.adaptive = true;
     } else if (arg == "--page-shards") {
       opt.page_shards = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--engine-threads") {
+      opt.engine_threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--cross-check") {
+      cross_check = true;
     } else if (arg == "--no-determinism") {
       opt.check_determinism = false;
     } else if (arg == "--verbose") {
@@ -136,7 +148,7 @@ int main(int argc, char** argv) {
     return r.ok ? 0 : 1;
   }
 
-  auto summary = auragen::RunCampaign(start, seeds, opt, [&](const ScenarioResult& r) {
+  auto report = [&](const ScenarioResult& r) {
     if (!r.ok) {
       std::printf("seed %llu: FAIL  [%s]\n  %s\n",
                   static_cast<unsigned long long>(r.seed), r.scenario.c_str(),
@@ -146,7 +158,39 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.seed), r.scenario.c_str(),
                   static_cast<unsigned long long>(r.takeovers));
     }
-  });
+  };
+
+  if (cross_check) {
+    // Mode-equivalence oracle: the same seed range sequentially and at the
+    // requested worker count must produce the same per-seed outcomes and
+    // trace digests, bit for bit.
+    std::vector<ScenarioResult> seq, par;
+    CampaignOptions seq_opt = opt;
+    seq_opt.engine_threads = 1;
+    auto seq_summary = auragen::RunCampaign(
+        start, seeds, seq_opt, [&](const ScenarioResult& r) { seq.push_back(r); });
+    auto par_summary = auragen::RunCampaign(
+        start, seeds, opt, [&](const ScenarioResult& r) { par.push_back(r); });
+    uint64_t mismatches = 0;
+    for (uint64_t i = 0; i < seeds; ++i) {
+      report(par[i]);
+      if (seq[i].ok != par[i].ok || seq[i].trace_digest != par[i].trace_digest) {
+        ++mismatches;
+        std::printf("seed %llu: MODE MISMATCH  seq{ok=%d digest=%s} par{ok=%d digest=%s}\n",
+                    static_cast<unsigned long long>(seq[i].seed), seq[i].ok ? 1 : 0,
+                    seq[i].trace_digest.ToString().c_str(), par[i].ok ? 1 : 0,
+                    par[i].trace_digest.ToString().c_str());
+      }
+    }
+    std::printf("faultcamp: %llu scenarios x2 modes (threads 1 vs %u), "
+                "%llu failed, %llu cross-mode mismatches\n",
+                static_cast<unsigned long long>(par_summary.run), opt.engine_threads,
+                static_cast<unsigned long long>(par_summary.failed),
+                static_cast<unsigned long long>(mismatches));
+    return (seq_summary.failed == 0 && par_summary.failed == 0 && mismatches == 0) ? 0 : 1;
+  }
+
+  auto summary = auragen::RunCampaign(start, seeds, opt, report);
 
   std::printf("faultcamp: %llu scenarios, %llu failed\n",
               static_cast<unsigned long long>(summary.run),
