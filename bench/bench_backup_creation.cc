@@ -56,14 +56,14 @@ void RunBurst(benchmark::State& state, bool eager) {
     }
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 0;
     machine.SpawnUserProgram(1, ForkBurst(children, 2000), w);
     bool done = machine.RunUntil(
         [&] { return machine.exit_statuses().size() >= static_cast<size_t>(children + 1); },
         3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done);
 

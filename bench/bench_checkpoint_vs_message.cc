@@ -33,13 +33,13 @@ double BaselineSimMs(int pages) {
   options.config.strategy = FtStrategy::kNone;
   Machine machine(options);
   machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
   Machine::UserSpawnOptions w;
   w.backup_cluster = 0;
   machine.SpawnUserProgram(1, StatefulWorker("w", 40, 3000, pages), w);
   machine.SpawnUserProgram(0, Feeder("w", 40, 50), Machine::UserSpawnOptions{});
   AURAGEN_CHECK(machine.RunUntilAllExited(3'000'000'000ull));
-  double ms = static_cast<double>(machine.engine().Now() - workload_start) / 1000.0;
+  double ms = static_cast<double>(machine.Now() - workload_start) / 1000.0;
   cache[pages] = ms;
   return ms;
 }
@@ -54,13 +54,13 @@ void RunStrategy(benchmark::State& state, FtStrategy strategy) {
     options.config.sync_reads_limit = 8;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 0;
     machine.SpawnUserProgram(1, StatefulWorker("w", 40, 3000, pages), w);
     machine.SpawnUserProgram(0, Feeder("w", 40, 50), Machine::UserSpawnOptions{});
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done) << "worker stalled";
 

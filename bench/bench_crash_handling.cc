@@ -26,7 +26,7 @@ void BM_CrashHandlingScale(benchmark::State& state) {
     options.config.num_clusters = 4;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     (void)workload_start;
     for (int i = 0; i < pairs; ++i) {
       std::string tag = "p" + std::to_string(i);
@@ -40,7 +40,7 @@ void BM_CrashHandlingScale(benchmark::State& state) {
       machine.SpawnUserProgram(b, Ponger(tag, 5000), bo);
     }
     machine.Run(50'000);
-    SimTime crash_time = machine.engine().Now();
+    SimTime crash_time = machine.Now();
     machine.CrashCluster(3);
     machine.Run(3'000'000);
 

@@ -53,12 +53,12 @@ void BM_FsSyncInterval(benchmark::State& state) {
     options.file_server.sync_every_ops = every;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 1;
     machine.SpawnUserProgram(0, FileAppender(writes), w);
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done);
 
@@ -85,13 +85,13 @@ void BM_CrashDuringCommit(benchmark::State& state) {
     options.file_server.sync_every_ops = 8;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 1;
     Gpid pid = machine.SpawnUserProgram(0, FileAppender(48), w);
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, 0);
+    machine.CrashClusterAt(machine.Now() + crash_at, 0);
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     state.counters["consistent"] = done && machine.ExitStatus(pid) == 0 ? 1 : 0;
     state.counters["sim_ms"] = static_cast<double>(done_at - workload_start) / 1000.0;

@@ -55,7 +55,7 @@ SloReport RunServing(uint32_t sessions, SyncMode mode, bool crash) {
   kv.seed = 1;
   KvDeployment d = DeployKv(machine, kv);
   if (crash) {
-    machine.CrashClusterAt(machine.engine().Now() + kCrashAtUs, /*cluster=*/2);
+    machine.CrashClusterAt(machine.Now() + kCrashAtUs, /*cluster=*/2);
   }
   const bool done =
       machine.RunUntil([&] { return KvClientsDone(machine, d); }, 2'000'000'000ull);

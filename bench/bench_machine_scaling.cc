@@ -1,0 +1,159 @@
+// E12 — full-machine scaling on the ShardPlan layout (DESIGN.md §17):
+// events/s of the complete Machine (kernels, servers, bus, disks) and
+// campaign seeds/s versus shard-worker thread count.
+//
+//   events_per_s   dispatched simulation events per wall-clock second
+//   seeds_per_s    completed campaign scenarios per wall-clock second
+//   threads        shard-worker threads inside each machine run
+//   digest_ok      1 iff this run's trace digest is bit-identical to the
+//                  sequential (threads=1) run of the same configuration
+//
+// Every row re-checks the determinism oracle and aborts on divergence: a
+// parallel machine that drifts from the sequential digest is broken, not
+// fast. Wall-clock speedup needs real cores — on a single-core runner the
+// threads>1 rows measure synchronization overhead, which is itself worth
+// tracking — so the baseline gates each row's digest against its own
+// history rather than asserting cross-row ratios.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "src/fault/campaign.h"
+#include "src/machine/machine.h"
+#include "src/workload/kv_service.h"
+
+namespace auragen::bench {
+namespace {
+
+struct RunResult {
+  uint64_t dispatched = 0;
+  uint64_t digest_hash = 0;
+  uint64_t digest_count = 0;
+};
+
+// One serving-shaped machine run: boot, deploy the KV workload sized to the
+// topology, run to completion. The digest covers every traced event of the
+// run in merge order.
+RunResult RunMachine(uint32_t clusters, uint32_t threads) {
+  MachineOptions mo;
+  mo.config.num_clusters = clusters;
+  mo.seed = 1;
+  mo.engine_threads = threads;
+  mo.trace.enabled = true;
+  mo.trace.unbounded = false;
+  mo.trace.ring_capacity = 4096;
+  Machine machine(mo);
+  machine.Boot();
+  workload::KvOptions kv;
+  kv.sessions = clusters * 8;
+  kv.partitions = clusters / 2;
+  kv.requests_per_session = 8;
+  kv.seed = 1;
+  workload::KvDeployment d = workload::DeployKv(machine, kv);
+  machine.RunUntil([&] { return workload::KvClientsDone(machine, d); },
+                   600'000'000);
+  RunResult r;
+  r.dispatched = machine.dispatched();
+  r.digest_hash = machine.tracer()->digest().hash;
+  r.digest_count = machine.tracer()->digest().count;
+  return r;
+}
+
+// Sequential reference per topology, computed once (untimed) and shared by
+// every thread-count row of that topology.
+const RunResult& Reference(uint32_t clusters) {
+  static std::map<uint32_t, RunResult> refs;
+  auto it = refs.find(clusters);
+  if (it == refs.end()) {
+    it = refs.emplace(clusters, RunMachine(clusters, 1)).first;
+  }
+  return it->second;
+}
+
+void BM_MachineScaling(benchmark::State& state) {
+  const uint32_t clusters = static_cast<uint32_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  const RunResult& want = Reference(clusters);
+
+  uint64_t dispatched = 0;
+  RunResult got;
+  for (auto _ : state) {
+    got = RunMachine(clusters, threads);
+    dispatched += got.dispatched;
+  }
+
+  const bool digest_ok =
+      got.digest_hash == want.digest_hash && got.digest_count == want.digest_count;
+  if (!digest_ok) {
+    state.SkipWithError("parallel machine diverged from the sequential digest");
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+  state.counters["threads"] = threads;
+  state.counters["digest_ok"] = digest_ok ? 1 : 0;
+}
+
+BENCHMARK(BM_MachineScaling)
+    ->ArgNames({"clusters", "threads"})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+constexpr uint64_t kCampaignFirstSeed = 1;
+constexpr uint64_t kCampaignSeeds = 3;
+
+// Campaign throughput with parallel machines: full scenarios (reference +
+// faulted run per seed) at 8 clusters, digests compared seed for seed
+// against the machine_threads=1 campaign.
+void BM_MachineCampaign(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  CampaignOptions opt;
+  opt.num_clusters = 8;
+  opt.check_determinism = false;  // the cross-thread digest check below replays
+  opt.machine_threads = 1;
+
+  static std::map<uint64_t, TraceDigest> want;  // seed -> sequential digest
+  if (want.empty()) {
+    RunCampaign(kCampaignFirstSeed, kCampaignSeeds, opt,
+                [&](const ScenarioResult& r) { want[r.seed] = r.trace_digest; });
+  }
+
+  opt.machine_threads = threads;
+  uint64_t seeds_done = 0;
+  bool digest_ok = true;
+  for (auto _ : state) {
+    RunCampaign(kCampaignFirstSeed, kCampaignSeeds, opt,
+                [&](const ScenarioResult& r) {
+                  ++seeds_done;
+                  digest_ok = digest_ok && r.ok && want.at(r.seed) == r.trace_digest;
+                });
+  }
+
+  if (!digest_ok) {
+    state.SkipWithError("parallel campaign diverged from the sequential digests");
+  }
+  state.counters["seeds_per_s"] =
+      benchmark::Counter(static_cast<double>(seeds_done), benchmark::Counter::kIsRate);
+  state.counters["threads"] = threads;
+  state.counters["digest_ok"] = digest_ok ? 1 : 0;
+}
+
+BENCHMARK(BM_MachineCampaign)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace auragen::bench
+
+BENCHMARK_MAIN();

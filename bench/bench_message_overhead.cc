@@ -30,7 +30,7 @@ void RunPairs(benchmark::State& state, FtStrategy strategy) {
     options.config.strategy = strategy;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     uint64_t bus_frames_before = machine.bus().stats().frames_sent;
     for (int i = 0; i < pairs; ++i) {
       std::string tag = "pp" + std::to_string(i);
@@ -42,7 +42,7 @@ void RunPairs(benchmark::State& state, FtStrategy strategy) {
       machine.SpawnUserProgram(1, Ponger(tag, rounds), b);
     }
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done) << "ping-pong stalled";
 

@@ -40,17 +40,17 @@ RunResult RunWorker(uint32_t reads_limit, bool crash, FtStrategy strategy) {
   options.config.sync_time_limit_us = 3'000'000'000ull;  // reads trigger only
   Machine machine(options);
   machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
   Machine::UserSpawnOptions w;
   w.backup_cluster = 0;
   machine.SpawnUserProgram(1, StatefulWorker("w", kRounds, kSpin, 2), w);
   machine.SpawnUserProgram(0, Feeder("w", kRounds, 400), Machine::UserSpawnOptions{});
   if (crash) {
-    machine.CrashClusterAt(machine.engine().Now() + kCrashAt, 1);
+    machine.CrashClusterAt(machine.Now() + kCrashAt, 1);
   }
   RunResult r;
   r.ok = machine.RunUntilAllExited(3'000'000'000ull);
-  r.sim_ms = static_cast<double>(machine.engine().Now() - workload_start) / 1000.0;
+  r.sim_ms = static_cast<double>(machine.Now() - workload_start) / 1000.0;
   machine.Settle();
   r.replayed = static_cast<double>(machine.metrics().rollforward_msgs_replayed);
   r.syncs = static_cast<double>(machine.metrics().syncs);
@@ -80,7 +80,7 @@ void BM_ForcedSignalSyncs(benchmark::State& state) {
     options.config.num_clusters = 2;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     // Worker re-arms an alarm in its handler, forcing a sync per delivery.
     Executable prog = MustAssemble(R"(
 start:
@@ -103,7 +103,7 @@ handler:
     w.backup_cluster = 0;
     machine.SpawnUserProgram(1, prog, w);
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done);
     const Metrics& m = machine.metrics();

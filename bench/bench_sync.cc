@@ -30,7 +30,7 @@ void BM_SyncMode(benchmark::State& state) {
     options.config.sync_reads_limit = 4;  // sync every 4 rounds
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 0;
     // 64 pages re-dirtied per round = 25% of the 256-page AVM space, on top
@@ -38,7 +38,7 @@ void BM_SyncMode(benchmark::State& state) {
     machine.SpawnUserProgram(1, WideStatefulWorker("w", 48, 2000, 64, 96), w);
     machine.SpawnUserProgram(0, Feeder("w", 48), Machine::UserSpawnOptions{});
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done);
 

@@ -59,13 +59,13 @@ void BM_SyncTriggerReads(benchmark::State& state) {
     options.config.sync_time_limit_us = 3'000'000'000ull;
     Machine machine(options);
     machine.Boot();
-    SimTime workload_start = machine.engine().Now();
+    SimTime workload_start = machine.Now();
     Machine::UserSpawnOptions w;
     w.backup_cluster = 0;
     machine.SpawnUserProgram(1, StatefulWorker("w", 64, 1500, 4), w);
     machine.SpawnUserProgram(0, Feeder("w", 64), Machine::UserSpawnOptions{});
     bool done = machine.RunUntilAllExited(3'000'000'000ull);
-    SimTime done_at = machine.engine().Now();
+    SimTime done_at = machine.Now();
     machine.Settle();
     AURAGEN_CHECK(done);
     const Metrics& m = machine.metrics();

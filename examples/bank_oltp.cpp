@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   if (crash_at != 0) {
     std::printf("will crash cluster 1 (account manager + page server) at +%llu us\n",
                 static_cast<unsigned long long>(crash_at));
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, 1);
+    machine.CrashClusterAt(machine.Now() + crash_at, 1);
   }
 
   bool done = machine.RunUntilAllExited(300'000'000);

@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   if (crash_at != 0) {
     std::printf("will crash cluster 2 (the transformer stage) at +%llu us\n",
                 static_cast<unsigned long long>(crash_at));
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, 2);
+    machine.CrashClusterAt(machine.Now() + crash_at, 2);
   }
 
   bool done = machine.RunUntilAllExited(300'000'000);

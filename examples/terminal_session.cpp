@@ -73,7 +73,7 @@ byemsg: .ascii "bye"
 
   // Scripted "typing". The tty server lives in cluster 0, which dies
   // between the second and third line.
-  SimTime t0 = machine.engine().Now();
+  SimTime t0 = machine.Now();
   machine.InjectTtyInput(0, "ls\n", t0 + 20'000);
   machine.InjectTtyInput(0, "make\n", t0 + 40'000);
   machine.CrashClusterAt(t0 + 55'000, 0);

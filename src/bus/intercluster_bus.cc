@@ -3,13 +3,41 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/sim/sharded_engine.h"
 
 namespace auragen {
 
+namespace {
+
+// ShardPlan convention (src/machine/shard_plan.h): shard 0 is shared,
+// cluster c lives on shard 1 + c.
+ShardId ShardOfCluster(ClusterId c) { return 1 + c; }
+
+}  // namespace
+
 InterclusterBus::InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters)
-    : engine_(engine), config_(config), endpoints_(num_clusters, nullptr) {
+    : engine_(&engine),
+      config_(config),
+      endpoints_(num_clusters, nullptr),
+      deliveries_(num_clusters, 0) {
   AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= 32)
       << "Auragen 4000 is 2..32 clusters, got" << num_clusters;
+}
+
+InterclusterBus::InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters)
+    : engine_(&engine.shard_core(kSharedShard)),
+      sharded_(&engine),
+      config_(config),
+      endpoints_(num_clusters, nullptr),
+      deliveries_(num_clusters, 0) {
+  AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= 32)
+      << "Auragen 4000 is 2..32 clusters, got" << num_clusters;
+  AURAGEN_CHECK(engine.num_shards() >= 1 + num_clusters)
+      << "ShardPlan layout needs a shard per cluster plus the shared shard";
+  AURAGEN_CHECK(config_.arbitration_us >= engine.lookahead())
+      << "bus arbitration is the minimum cross-shard latency; it must cover "
+      << "the engine lookahead (" << config_.arbitration_us << " < "
+      << engine.lookahead() << ")";
 }
 
 void InterclusterBus::AttachEndpoint(ClusterId cluster, BusEndpoint* endpoint) {
@@ -26,17 +54,54 @@ bool InterclusterBus::IsAttached(ClusterId cluster) const {
   return cluster < endpoints_.size() && endpoints_[cluster] != nullptr;
 }
 
+SimTime InterclusterBus::LocalNow() const {
+  if (sharded_ != nullptr) {
+    ShardId s = sharded_->CurrentShard();
+    return s == kNoShard ? sharded_->Now() : sharded_->ShardNow(s);
+  }
+  return engine_->Now();
+}
+
+BusStats InterclusterBus::stats() const {
+  BusStats s = stats_;
+  for (uint64_t d : deliveries_) {
+    s.deliveries += d;
+  }
+  return s;
+}
+
+void InterclusterBus::ResetStats() {
+  stats_ = BusStats{};
+  deliveries_.assign(deliveries_.size(), 0);
+}
+
 void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload, bool urgent) {
   AURAGEN_CHECK(src < endpoints_.size());
   AURAGEN_CHECK(targets != 0) << "frame with no destinations";
   Frame frame;
-  frame.frame_id = next_frame_id_++;
   frame.src = src;
   frame.targets = targets;
-  frame.sent_at = engine_.Now();
   frame.payload = MakePayload(std::move(payload));
+  if (sharded_ != nullptr) {
+    // §5.1 minimum propagation latency, sender to arbitration: the request
+    // reaches the bus (shard 0) arbitration_us after the sender issued it —
+    // which is what licenses the cross-shard post under the lookahead
+    // contract. Frame ids are assigned at accept on shard 0, where barrier
+    // drain order makes them a pure function of the per-shard schedules.
+    sharded_->ScheduleOn(kSharedShard, config_.arbitration_us,
+                         [this, frame = std::move(frame), urgent]() mutable {
+                           AcceptFrame(std::move(frame), urgent);
+                         });
+    return;
+  }
+  AcceptFrame(std::move(frame), urgent);
+}
+
+void InterclusterBus::AcceptFrame(Frame frame, bool urgent) {
+  frame.frame_id = next_frame_id_++;
+  frame.sent_at = LocalNow();
   if (tracer_ != nullptr) {
-    tracer_->Record(TraceEventKind::kBusTx, src, 0, 0, frame.frame_id,
+    tracer_->Record(TraceEventKind::kBusTx, frame.src, 0, 0, frame.frame_id,
                     frame.WireSize());
   }
   if (urgent) {
@@ -57,32 +122,47 @@ void InterclusterBus::StartNext() {
   if (alive_lines() == 0) {
     // Both lines dead: frames stay queued until a line is restored. A dual
     // bus failing twice is a double fault, outside the tolerated model
-    // (§3.1), but the bench harness exercises it.
+    // (§3.1), but the fault campaign exercises it.
     transmitting_ = false;
     return;
   }
   transmitting_ = true;
-  std::deque<Frame>& lane = urgent_pending_.empty() ? pending_ : urgent_pending_;
-  Frame frame = std::move(lane.front());
+  const bool urgent = !urgent_pending_.empty();
+  std::deque<Frame>& lane = urgent ? urgent_pending_ : pending_;
+  InFlight fl;
+  fl.urgent = urgent;
+  fl.frame = std::move(lane.front());
   lane.pop_front();
-
-  SimTime cost = config_.FrameTime(frame.WireSize());
-  stats_.busy_us += cost;
-  if (!line_ok_[0]) {
+  fl.cost = config_.FrameTime(fl.frame.WireSize());
+  if (line_ok_[0]) {
+    fl.line = 0;
+  } else {
     // The preferred line is down: the low-level protocol times out and
     // retries on line 1. The wait is accounted separately from transmit-busy
     // time — the line is idle while the sender waits out the timeout.
-    cost += config_.line_failover_timeout_us;
-    stats_.failover_wait_us += config_.line_failover_timeout_us;
+    fl.line = 1;
+    fl.wait = config_.line_failover_timeout_us;
+  }
+  const SimTime total = fl.cost + fl.wait;
+  in_flight_ = std::move(fl);
+  in_flight_->completion = engine_->Schedule(total, [this] { OnTransmitComplete(); });
+}
+
+void InterclusterBus::OnTransmitComplete() {
+  AURAGEN_CHECK(in_flight_.has_value());
+  InFlight fl = std::move(*in_flight_);
+  in_flight_.reset();
+  // Accounting happens at completion: only a frame that actually crossed a
+  // line is charged.
+  stats_.busy_us += fl.cost;
+  if (fl.wait > 0) {
+    stats_.failover_wait_us += fl.wait;
     ++stats_.failovers;
   }
   ++stats_.frames_sent;
-  stats_.bytes_sent += frame.payload_size();
-
-  engine_.Schedule(cost, [this, frame = std::move(frame)]() mutable {
-    Deliver(frame);
-    StartNext();
-  });
+  stats_.bytes_sent += fl.frame.payload_size();
+  Deliver(fl.frame);
+  StartNext();
 }
 
 void InterclusterBus::Deliver(const Frame& frame) {
@@ -97,16 +177,7 @@ void InterclusterBus::Deliver(const Frame& frame) {
       SimTime jitter = violation_rng_.Range(0, 3 * config_.arbitration_us + 5);
       // Each per-destination closure carries its own Frame copy, but the
       // payload is shared — allocations no longer scale with |targets|.
-      engine_.Schedule(jitter, [this, frame, c] {
-        if (endpoints_[c] != nullptr) {
-          ++stats_.deliveries;
-          if (tracer_ != nullptr) {
-            tracer_->Record(TraceEventKind::kBusRx, c, 0, 0, frame.frame_id,
-                            engine_.Now() - frame.sent_at);
-          }
-          endpoints_[c]->OnFrame(frame);
-        }
-      });
+      engine_->Schedule(jitter, [this, frame, c] { DeliverTo(frame, c); });
     }
     return;
   }
@@ -120,26 +191,60 @@ void InterclusterBus::Deliver(const Frame& frame) {
       ALOG_DEBUG() << "bus: injected drop of frame " << frame.frame_id << " at cluster " << c;
       continue;
     }
-    if (endpoints_[c] != nullptr) {
-      ++stats_.deliveries;
-      if (tracer_ != nullptr) {
-        tracer_->Record(TraceEventKind::kBusRx, c, 0, 0, frame.frame_id,
-                        engine_.Now() - frame.sent_at);
-      }
-      endpoints_[c]->OnFrame(frame);
-    }
+    DeliverTo(frame, c);
   }
+}
+
+void InterclusterBus::DeliverTo(const Frame& frame, ClusterId c) {
+  if (sharded_ != nullptr) {
+    // §5.1 minimum propagation latency, line to receiving executive: the
+    // destination cluster observes the frame arbitration_us after line
+    // transmission completed. Posted unconditionally; whether the endpoint
+    // is attached is decided on the destination's own shard (endpoint state
+    // is owned by that cluster).
+    sharded_->ScheduleOn(ShardOfCluster(c), config_.arbitration_us,
+                         [this, frame, c] { DeliverLocal(frame, c); });
+    return;
+  }
+  DeliverLocal(frame, c);
+}
+
+void InterclusterBus::DeliverLocal(const Frame& frame, ClusterId c) {
+  if (endpoints_[c] == nullptr) {
+    return;
+  }
+  ++deliveries_[c];
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBusRx, c, 0, 0, frame.frame_id,
+                    LocalNow() - frame.sent_at);
+  }
+  endpoints_[c]->OnFrame(frame);
 }
 
 void InterclusterBus::FailLine(int line) {
   AURAGEN_CHECK(line == 0 || line == 1);
   line_ok_[line] = false;
+  if (in_flight_.has_value() && in_flight_->line == line) {
+    // The frame on the wire dies with its line: abort the completion event,
+    // return the frame to the front of its lane (nothing was delivered, so
+    // nothing is charged), and retry — on the surviving line if one is up,
+    // else the frame waits for a restore.
+    engine_->Cancel(in_flight_->completion);
+    InFlight fl = std::move(*in_flight_);
+    in_flight_.reset();
+    (fl.urgent ? urgent_pending_ : pending_).push_front(std::move(fl.frame));
+    transmitting_ = false;
+    StartNext();
+  }
 }
 
 void InterclusterBus::RestoreLine(int line) {
   AURAGEN_CHECK(line == 0 || line == 1);
   line_ok_[line] = true;
-  if (!transmitting_ && !pending_.empty()) {
+  // Restart the pump when *either* lane has queued frames. Checking only
+  // pending_ left urgent heartbeats stranded after a dual-line outage —
+  // exactly the liveness traffic the dual bus exists to protect (§7.10).
+  if (!transmitting_ && (!pending_.empty() || !urgent_pending_.empty())) {
     StartNext();
   }
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -30,6 +31,8 @@
 #include "src/sim/engine.h"
 
 namespace auragen {
+
+class ShardedEngine;
 
 // A cluster's receive side. The executive processor implements this.
 class BusEndpoint {
@@ -79,6 +82,14 @@ class InterclusterBus {
  public:
   InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters);
 
+  // Sharded-machine mode (ShardPlan layout: shard 0 = this bus + disks,
+  // shard 1+c = cluster c). Arbitration and line state live on shard 0;
+  // Transmit posts the frame to shard 0 and delivery posts per-destination
+  // closures to the receiving cluster's shard, each hop carrying the §5.1
+  // minimum propagation latency (arbitration_us >= the engine's lookahead),
+  // which is exactly the conservative contract ShardedEngine checks.
+  InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters);
+
   // Registers the receive callback for a cluster. Must be called for every
   // cluster before traffic starts.
   void AttachEndpoint(ClusterId cluster, BusEndpoint* endpoint);
@@ -101,26 +112,52 @@ class InterclusterBus {
   void Transmit(ClusterId src, ClusterMask targets, Bytes payload, bool urgent = false);
 
   // --- fault injection ---
+  // Failing the line currently carrying a frame aborts that transmission:
+  // the frame goes back to the front of its lane (nothing was sent, nothing
+  // is charged) and retries on the surviving line, or waits for a restore.
   void FailLine(int line);     // line in {0,1}
   void RestoreLine(int line);
   int alive_lines() const { return (line_ok_[0] ? 1 : 0) + (line_ok_[1] ? 1 : 0); }
+  bool line_ok(int line) const { return line_ok_[line]; }
 
   // Enables a §5.1 violation for negative tests. `probability` applies per
   // destination (kDropPerDestination) or per frame (kInterleave).
   void InjectAtomicityViolation(AtomicityViolation mode, double probability, uint64_t seed);
 
-  const BusStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BusStats{}; }
+  // Aggregated on read: per-destination delivery counts are kept per
+  // cluster slot (each written only by its own shard on the parallel
+  // machine) and summed here.
+  BusStats stats() const;
+  void ResetStats();
   uint32_t num_clusters() const { return static_cast<uint32_t>(endpoints_.size()); }
 
   // Write-only observability (kBusTx at accept, kBusRx per destination).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  void StartNext();
-  void Deliver(const Frame& frame);
+  // A frame occupying a line. Stats are charged at completion, not at
+  // start: a transmission aborted by line failure never happened as far as
+  // accounting is concerned (the old start-time charging left busy_us
+  // inflated and `transmitting_` stranded when both lines died mid-queue).
+  struct InFlight {
+    Frame frame;
+    bool urgent = false;
+    int line = 0;        // line carrying the frame
+    SimTime cost = 0;    // transmit-busy time
+    SimTime wait = 0;    // failover detection wait (0 when line 0 was up)
+    EventId completion = kNoEvent;
+  };
 
-  Engine& engine_;
+  void AcceptFrame(Frame frame, bool urgent);
+  void StartNext();
+  void OnTransmitComplete();
+  void Deliver(const Frame& frame);
+  void DeliverTo(const Frame& frame, ClusterId c);
+  void DeliverLocal(const Frame& frame, ClusterId c);
+  SimTime LocalNow() const;
+
+  Engine* engine_;                     // shard-0 core in sharded mode
+  ShardedEngine* sharded_ = nullptr;   // null in single-engine mode
   BusConfig config_;
   std::vector<BusEndpoint*> endpoints_;
   std::deque<Frame> pending_;
@@ -128,7 +165,9 @@ class InterclusterBus {
   bool transmitting_ = false;
   bool line_ok_[2] = {true, true};
   uint64_t next_frame_id_ = 1;
+  std::optional<InFlight> in_flight_;
   BusStats stats_;
+  std::vector<uint64_t> deliveries_;  // per destination cluster
   Tracer* tracer_ = nullptr;
 
   AtomicityViolation violation_ = AtomicityViolation::kNone;

@@ -84,6 +84,64 @@ struct Metrics {
   uint64_t fileserver_disk_bytes = 0;  // state made available via disk (§7.9)
 
   void Reset() { *this = Metrics{}; }
+
+  // Folds another cluster's metrics into this one. Counters and durations
+  // add; the machine-wide last_* stamps take the latest across clusters.
+  // The parallel machine keeps one Metrics per cluster shard (so kernels
+  // never write a shared object across shards) and aggregates on read.
+  void Accumulate(const Metrics& o) {
+    messages_sent += o.messages_sent;
+    deliveries_primary += o.deliveries_primary;
+    deliveries_backup += o.deliveries_backup;
+    deliveries_count_only += o.deliveries_count_only;
+    sends_suppressed += o.sends_suppressed;
+    bytes_sent += o.bytes_sent;
+    syncs += o.syncs;
+    sync_pages_shipped += o.sync_pages_shipped;
+    sync_bytes_shipped += o.sync_bytes_shipped;
+    sync_primary_stall_us += o.sync_primary_stall_us;
+    sync_build_stall_us += o.sync_build_stall_us;
+    sync_enqueue_stall_us += o.sync_enqueue_stall_us;
+    sync_drain_async_us += o.sync_drain_async_us;
+    sync_flush_overlap_us += o.sync_flush_overlap_us;
+    sync_flushes_async += o.sync_flushes_async;
+    syncs_deferred_drain += o.syncs_deferred_drain;
+    sync_adaptive_tighten += o.sync_adaptive_tighten;
+    sync_adaptive_loosen += o.sync_adaptive_loosen;
+    forced_signal_syncs += o.forced_signal_syncs;
+    backup_msgs_trimmed += o.backup_msgs_trimmed;
+    backups_created += o.backups_created;
+    birth_notices += o.birth_notices;
+    processes_spawned += o.processes_spawned;
+    processes_exited += o.processes_exited;
+    backup_create_bytes += o.backup_create_bytes;
+    checkpoints += o.checkpoints;
+    checkpoint_bytes += o.checkpoint_bytes;
+    checkpoint_stall_us += o.checkpoint_stall_us;
+    page_writes += o.page_writes;
+    page_faults_served += o.page_faults_served;
+    page_fault_zero_fills += o.page_fault_zero_fills;
+    crashes_handled += o.crashes_handled;
+    takeovers += o.takeovers;
+    rollforward_msgs_replayed += o.rollforward_msgs_replayed;
+    if (o.last_crash_detected_at > last_crash_detected_at) {
+      last_crash_detected_at = o.last_crash_detected_at;
+    }
+    if (o.last_recovery_first_dispatch_at > last_recovery_first_dispatch_at) {
+      last_recovery_first_dispatch_at = o.last_recovery_first_dispatch_at;
+    }
+    if (o.last_recovery_complete_at > last_recovery_complete_at) {
+      last_recovery_complete_at = o.last_recovery_complete_at;
+    }
+    rollforward_replay_us += o.rollforward_replay_us;
+    delivery_latency_us_total += o.delivery_latency_us_total;
+    delivery_latency_samples += o.delivery_latency_samples;
+    work_busy_us += o.work_busy_us;
+    exec_busy_us += o.exec_busy_us;
+    server_syncs += o.server_syncs;
+    server_sync_bytes += o.server_sync_bytes;
+    fileserver_disk_bytes += o.fileserver_disk_bytes;
+  }
 };
 
 }  // namespace auragen

@@ -152,13 +152,14 @@ RunOutcome RunWorkload(const CampaignWorkload& wl, uint64_t seed, BackupMode mod
   mo.config.sync_policy = opt.sync_policy;
   mo.config.page_shards = opt.page_shards;
   mo.seed = seed;
+  mo.engine_threads = opt.machine_threads;
   // Ring-mode flight recorder: whole-run digest for the determinism replay
   // at bounded memory, and a tail of events if a scenario needs diagnosis.
   mo.trace.enabled = true;
   mo.trace.unbounded = false;
   mo.trace.ring_capacity = 4096;
   Machine machine(mo);
-  machine.engine().set_dispatch_limit(opt.dispatch_limit);
+  machine.set_dispatch_limit(opt.dispatch_limit);
   machine.Boot();
 
   std::vector<Gpid> victims;
@@ -189,7 +190,7 @@ RunOutcome RunWorkload(const CampaignWorkload& wl, uint64_t seed, BackupMode mod
   RunOutcome out;
   out.completed = machine.RunUntilAllExited(opt.run_cap_us);
   machine.Settle();
-  out.livelock = machine.engine().dispatch_limit_hit();
+  out.livelock = machine.dispatch_limit_hit();
   out.duplicates = machine.TtyDuplicates();
   out.tty_dups_ok = log.tty_primary_crashed;
   out.exit_statuses = machine.exit_statuses();
@@ -305,23 +306,24 @@ KvRunOutcome RunKvWorkload(const workload::KvOptions& kv, uint64_t seed,
   mo.config.sync_policy = opt.sync_policy;
   mo.config.page_shards = opt.page_shards;
   mo.seed = seed;
+  mo.engine_threads = opt.machine_threads;
   mo.trace.enabled = true;
   mo.trace.unbounded = false;
   mo.trace.ring_capacity = 4096;
   Machine machine(mo);
-  machine.engine().set_dispatch_limit(opt.dispatch_limit);
+  machine.set_dispatch_limit(opt.dispatch_limit);
   machine.Boot();
 
   workload::KvDeployment d = workload::DeployKv(machine, kv);
   if (crash_rel_us != 0) {
-    machine.CrashClusterAt(machine.engine().Now() + crash_rel_us, victim);
+    machine.CrashClusterAt(machine.Now() + crash_rel_us, victim);
   }
 
   KvRunOutcome out;
   out.completed = machine.RunUntil(
       [&] { return workload::KvClientsDone(machine, d); }, opt.run_cap_us);
   machine.Settle();
-  out.livelock = machine.engine().dispatch_limit_hit();
+  out.livelock = machine.dispatch_limit_hit();
   out.mismatches = workload::KvMismatchTotal(machine, d);
   out.takeovers = machine.metrics().takeovers;
   out.crashes_handled = machine.metrics().crashes_handled;

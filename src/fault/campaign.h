@@ -57,6 +57,12 @@ struct CampaignOptions {
   // only wall clock changes. Results are aggregated and reported in seed
   // order regardless of completion order.
   uint32_t engine_threads = 1;
+  // Worker threads *inside* each machine run (ShardedEngine over the
+  // ShardPlan layout). Orthogonal to engine_threads: that one spreads seeds
+  // over a pool, this one parallelizes the shards of a single simulation.
+  // Digests are bit-identical at any value — the CI cross-check compares a
+  // parallel campaign against machine_threads=1 seed for seed.
+  uint32_t machine_threads = 1;
 };
 
 struct ScenarioResult {

@@ -16,6 +16,10 @@ const char* FaultKindName(FaultKind kind) {
       return "kill";
     case FaultKind::kRestoreCluster:
       return "restore";
+    case FaultKind::kFailBusLine:
+      return "bus-line-fail";
+    case FaultKind::kRestoreBusLine:
+      return "bus-line-restore";
   }
   return "?";
 }
@@ -38,6 +42,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "crash-restore-crash";
     case ScenarioKind::kRestoreRecrash:
       return "restore-recrash";
+    case ScenarioKind::kBusDualLineOutage:
+      return "bus-dual-line-outage";
     case ScenarioKind::kNumScenarioKinds:
       break;
   }
@@ -51,6 +57,8 @@ std::string FaultPlan::Describe() const {
     os << " " << FaultKindName(a.kind);
     if (a.kind == FaultKind::kKillProcess) {
       os << " victim#" << a.victim;
+    } else if (a.kind == FaultKind::kFailBusLine || a.kind == FaultKind::kRestoreBusLine) {
+      os << " line" << a.cluster;
     } else {
       os << " c" << a.cluster;
     }
@@ -99,6 +107,14 @@ FaultAction Crash(ClusterId cluster, SimTime at) {
 
 FaultAction Restore(ClusterId cluster, SimTime at) {
   return FaultAction{FaultKind::kRestoreCluster, at, cluster, 0};
+}
+
+FaultAction BusFail(int line, SimTime at) {
+  return FaultAction{FaultKind::kFailBusLine, at, static_cast<ClusterId>(line), 0};
+}
+
+FaultAction BusRestore(int line, SimTime at) {
+  return FaultAction{FaultKind::kRestoreBusLine, at, static_cast<ClusterId>(line), 0};
 }
 
 void DegradeToSingleCrash(FaultPlan& plan, Rng& rng, uint32_t num_clusters) {
@@ -224,6 +240,23 @@ FaultPlan MakeFaultPlan(uint64_t seed, const FaultPlanInputs& in) {
       break;
     }
 
+    case ScenarioKind::kBusDualLineOutage: {
+      // §7.1's double fault: both lines of the dual bus die back-to-back.
+      // Nothing crosses the bus until a restore, so heartbeats queue in the
+      // urgent lane — the dark window stays well under the 12ms heartbeat
+      // timeout so no peer falsely declares a cluster dead, and on restore
+      // the queued heartbeats must drain ahead of the data backlog.
+      plan.fullback = rng.Chance(0.5);
+      SimTime t = rng.Range(20'000, 100'000);
+      SimTime d1 = rng.Range(1, 500);        // second line dies mid-window
+      SimTime outage = rng.Range(500, 8'000);
+      int first_back = rng.Chance(0.5) ? 0 : 1;
+      plan.actions = {BusFail(0, t), BusFail(1, t + d1),
+                      BusRestore(first_back, t + d1 + outage),
+                      BusRestore(1 - first_back, t + d1 + outage + rng.Range(0, 20'000))};
+      break;
+    }
+
     case ScenarioKind::kNumScenarioKinds:
       DegradeToSingleCrash(plan, rng, in.num_clusters);
       break;
@@ -239,8 +272,10 @@ void InjectFaultPlan(Machine& machine, const FaultPlan& plan,
                      const std::vector<ProcPlacement>& placements,
                      InjectionLog* log) {
   // Action times are relative to injection (Boot() has already advanced the
-  // simulated clock).
-  const SimTime base = machine.engine().Now();
+  // simulated clock). Faults are machine-level interventions that reach into
+  // several shards (kernel state, bus line state), so they fire as control
+  // events: between windows, with every shard parked at the fault instant.
+  const SimTime base = machine.Now();
   for (size_t i = 0; i < plan.actions.size(); ++i) {
     const FaultAction action = plan.actions[i];
     uint32_t index = static_cast<uint32_t>(i);
@@ -252,8 +287,8 @@ void InjectFaultPlan(Machine& machine, const FaultPlan& plan,
       victim_pid = victims[action.victim];
       victim_home = placements[action.victim].primary;
     }
-    machine.engine().ScheduleAt(base + action.at, [&machine, action, index, victim_pid,
-                                                   victim_home, log] {
+    machine.ScheduleControlAt(base + action.at, [&machine, action, index, victim_pid,
+                                                 victim_home, log] {
       auto record = [&](ClusterId cluster) {
         if (log != nullptr) {
           log->actions_fired++;
@@ -287,6 +322,24 @@ void InjectFaultPlan(Machine& machine, const FaultPlan& plan,
           }
           record(victim_home);
           machine.FailProcess(victim_home, victim_pid);
+          break;
+        }
+        case FaultKind::kFailBusLine: {
+          const int line = static_cast<int>(action.cluster);
+          if (!machine.bus().line_ok(line)) {
+            return;
+          }
+          record(kNoCluster);
+          machine.FailBusLine(line);
+          break;
+        }
+        case FaultKind::kRestoreBusLine: {
+          const int line = static_cast<int>(action.cluster);
+          if (machine.bus().line_ok(line)) {
+            return;
+          }
+          record(kNoCluster);
+          machine.RestoreBusLine(line);
           break;
         }
       }

@@ -35,6 +35,9 @@ enum class FaultKind : uint8_t {
   kCrashCluster = 0,   // fail-stop of a whole processing unit (§7.10)
   kKillProcess = 1,    // §10 extension: isolatable fault kills one process
   kRestoreCluster = 2, // the unit returns to service (§7.3 halfback)
+  kFailBusLine = 3,    // one line of the dual bus dies (§7.1); `cluster`
+                       // carries the line number (0 or 1)
+  kRestoreBusLine = 4, // the line returns to service
 };
 const char* FaultKindName(FaultKind kind);
 
@@ -50,6 +53,9 @@ enum class ScenarioKind : uint8_t {
   kCrashRestoreCrash,       // crash A, restore A, then crash B
   kRestoreRecrash,          // crash A, restore A, crash A again while the
                             // §7.3 re-backup traffic is in flight
+  kBusDualLineOutage,       // both bus lines die back-to-back, then come
+                            // back; queued traffic (heartbeats first) must
+                            // drain without any peer declaring a false crash
   kNumScenarioKinds,
 };
 const char* ScenarioKindName(ScenarioKind kind);
@@ -57,7 +63,7 @@ const char* ScenarioKindName(ScenarioKind kind);
 struct FaultAction {
   FaultKind kind = FaultKind::kCrashCluster;
   SimTime at = 0;
-  ClusterId cluster = kNoCluster;  // crash / restore target
+  ClusterId cluster = kNoCluster;  // crash / restore target, or bus line 0/1
   uint32_t victim = 0;             // kKillProcess: index into the victim list
 };
 
@@ -100,7 +106,7 @@ struct InjectionLog {
   uint32_t actions_fired = 0;
 };
 
-// Schedules every action of `plan` on the machine's engine. `victims` and
+// Schedules every action of `plan` as machine control events. `victims` and
 // `placements` resolve kKillProcess actions (pid and the cluster it was
 // spawned on). Actions against already-dead (or, for restore, alive)
 // clusters are skipped at fire time. Records kFaultInject trace events when

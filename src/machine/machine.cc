@@ -100,29 +100,91 @@ std::string MachineOptions::Validate() const {
   return placement.Validate(config);
 }
 
+// ------------------------------------------------------------- ClusterEnv
+
+ClusterEnv::ClusterEnv(Machine& machine, ClusterId cluster)
+    : machine_(machine), cluster_(cluster) {}
+
+Engine& ClusterEnv::engine() {
+  return machine_.sharded_->shard_core(machine_.plan_.shard_of_cluster(cluster_));
+}
+
+InterclusterBus& ClusterEnv::bus() { return *machine_.bus_; }
+
+const SystemConfig& ClusterEnv::config() const { return machine_.options_.config; }
+
+void ClusterEnv::DiskRead(Gpid server, BlockNum block,
+                          std::function<void(Result<Bytes>)> done) {
+  machine_.DiskReadFrom(cluster_, server, block, std::move(done));
+}
+
+void ClusterEnv::DiskWrite(Gpid server, BlockNum block, Bytes data,
+                           std::function<void(Result<void>)> done) {
+  if (server == Machine::kFsPid) {
+    metrics_.fileserver_disk_bytes += data.size();
+  }
+  machine_.DiskWriteFrom(cluster_, server, block, std::move(data), std::move(done));
+}
+
+void ClusterEnv::TtyEmit(Gpid server, const Bytes& data) {
+  machine_.TtyEmitFrom(cluster_, server, data);
+}
+
+ClusterId ClusterEnv::PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) {
+  return machine_.PlaceNewBackupFrom(cluster_, avoid_a, avoid_b);
+}
+
+std::unique_ptr<NativeProgram> ClusterEnv::MakeServerProgram(Gpid pid) {
+  return machine_.MakeServerProgram(pid);
+}
+
+void ClusterEnv::OnServerTakeover(Gpid pid, ClusterId new_cluster) {
+  machine_.OnServerTakeover(pid, new_cluster);
+}
+
+void ClusterEnv::OnProcessExit(Gpid pid, int32_t status) {
+  machine_.OnProcessExit(pid, status);
+}
+
+void ClusterEnv::OnDebugPutc(Gpid pid, char c) { machine_.OnDebugPutc(pid, c); }
+
+// ---------------------------------------------------------------- Machine
+
 Machine::Machine(MachineOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {
+    : options_(std::move(options)),
+      plan_(MakeShardPlan(options_.config, options_.disk)),
+      rng_(options_.seed) {
   const SystemConfig& cfg = options_.config;
+  sharded_ = std::make_unique<ShardedEngine>(plan_.EngineOptions(options_.engine_threads));
   if (options_.trace.enabled) {
     tracer_ = std::make_unique<Tracer>(options_.trace);
-    tracer_->set_clock([this] { return engine_.Now(); });
-    engine_.set_tracer(tracer_.get());
+    tracer_->set_clock([this] { return sharded_->Now(); });
+    // Every component records through Tracer::Record as before; the hook
+    // reroutes records into the engine's per-shard staging so the digest is
+    // folded in deterministic merge order at each window barrier.
+    tracer_->set_record_hook([this](TraceEventKind kind, ClusterId cluster, uint64_t gpid,
+                                    uint64_t channel, uint64_t a, uint64_t b) {
+      sharded_->Trace(kind, cluster, gpid, channel, a, b);
+    });
+    sharded_->set_tracer(tracer_.get());
     options_.file_server.tracer = tracer_.get();
     options_.page_server.tracer = tracer_.get();
   }
-  bus_ = std::make_unique<InterclusterBus>(engine_, cfg.bus, cfg.num_clusters);
+  bus_ = std::make_unique<InterclusterBus>(*sharded_, cfg.bus, cfg.num_clusters);
   bus_->set_tracer(tracer_.get());
   const ServerPlacement& place = options_.placement;
-  fs_disk_ = std::make_unique<MirroredDisk>(engine_, options_.disk, place.file_disk.primary,
-                                            place.file_disk.backup);
+  Engine& shared_core = sharded_->shard_core(kSharedShard);
+  fs_disk_ = std::make_unique<MirroredDisk>(shared_core, options_.disk,
+                                            place.file_disk.primary, place.file_disk.backup);
   const uint32_t shards = std::max<uint32_t>(1, cfg.page_shards);
   for (uint32_t s = 0; s < shards; ++s) {
     page_disks_.push_back(std::make_unique<MirroredDisk>(
-        engine_, options_.disk, (place.page_disk.primary + s) % cfg.num_clusters,
+        shared_core, options_.disk, (place.page_disk.primary + s) % cfg.num_clusters,
         (place.page_disk.backup + s) % cfg.num_clusters));
   }
   for (ClusterId c = 0; c < cfg.num_clusters; ++c) {
-    kernels_.push_back(std::make_unique<Kernel>(*this, c));
+    envs_.push_back(std::make_unique<ClusterEnv>(*this, c));
+    kernels_.push_back(std::make_unique<Kernel>(*envs_[c], c));
     kernels_.back()->set_tracer(tracer_.get());
   }
 }
@@ -263,27 +325,33 @@ Gpid Machine::SpawnUserProgram(ClusterId cluster, const Executable& exe,
   return pid;
 }
 
+void Machine::Run(SimTime duration) {
+  sharded_->Run(sharded_->Now() + duration);
+  // Align idle shard clocks with the global time so direct schedules from
+  // the outside (spawns, kernel pokes between runs) base correctly.
+  sharded_->SyncShardClocks();
+}
+
 bool Machine::RunUntil(const std::function<bool()>& pred, SimTime max_duration) {
-  SimTime deadline = engine_.Now() + max_duration;
-  while (!pred()) {
-    if (!engine_.Step(deadline)) {
-      return pred();
+  if (pred()) {
+    return true;
+  }
+  sharded_->Run(sharded_->Now() + max_duration, pred);
+  sharded_->SyncShardClocks();
+  return pred();
+}
+
+bool Machine::AllUsersExited() const {
+  for (Gpid pid : user_pids_) {
+    if (exit_statuses_.count(pid.value) == 0) {
+      return false;
     }
   }
   return true;
 }
 
 bool Machine::RunUntilAllExited(SimTime max_duration) {
-  return RunUntil(
-      [this] {
-        for (Gpid pid : user_pids_) {
-          if (exit_statuses_.count(pid.value) == 0) {
-            return false;
-          }
-        }
-        return true;
-      },
-      max_duration);
+  return RunUntil([this] { return AllUsersExited(); }, max_duration);
 }
 
 void Machine::CrashCluster(ClusterId cluster) {
@@ -292,8 +360,12 @@ void Machine::CrashCluster(ClusterId cluster) {
 }
 
 void Machine::CrashClusterAt(SimTime when, ClusterId cluster) {
-  engine_.ScheduleAt(when, [this, cluster] { CrashCluster(cluster); });
+  sharded_->ScheduleControlAt(when, [this, cluster] { CrashCluster(cluster); });
 }
+
+void Machine::FailBusLine(int line) { bus_->FailLine(line); }
+
+void Machine::RestoreBusLine(int line) { bus_->RestoreLine(line); }
 
 void Machine::RestoreCluster(ClusterId cluster) {
   kernels_[cluster]->Restart();
@@ -302,8 +374,9 @@ void Machine::RestoreCluster(ClusterId cluster) {
   }
   // §7.3: halfbacks get new backups when the crashed cluster returns.
   // Every unprotected peripheral server whose disk (if any) reaches the
-  // restored cluster re-creates its active backup there.
-  engine_.Schedule(1000, [this, cluster] {
+  // restored cluster re-creates its active backup there. A control event:
+  // it reads the server directory and reaches into several kernels.
+  sharded_->ScheduleControl(1000, [this, cluster] {
     std::vector<Gpid> peripherals = {kFsPid, kTtyPid};
     for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
       peripherals.push_back(PageShardPid(s));
@@ -338,7 +411,7 @@ void Machine::RestoreCluster(ClusterId cluster) {
 }
 
 void Machine::InjectTtyInput(uint32_t line, const std::string& text, SimTime at) {
-  engine_.ScheduleAt(at, [this, line, text] {
+  sharded_->ScheduleControlAt(at, [this, line, text] {
     auto it = server_locations_.find(kTtyPid.value);
     if (it == server_locations_.end() || !kernels_[it->second]->alive()) {
       return;  // terminal line dead with its cluster; user must retype
@@ -373,44 +446,79 @@ size_t Machine::TotalLiveProcesses() const {
   return n;
 }
 
-// ------------------------------------------------------------- MachineEnv
-
-void Machine::DiskRead(Gpid server, BlockNum block,
-                       std::function<void(Result<Bytes>)> done) {
-  auto it = server_disks_.find(server.value);
-  AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
-  if (tracer_ != nullptr) {
-    tracer_->Record(TraceEventKind::kDiskRead, kNoCluster, server.value, 0, block, 0);
+Metrics Machine::metrics() const {
+  Metrics agg;
+  for (const auto& env : envs_) {
+    agg.Accumulate(env->metrics());
   }
-  it->second->Read(block, std::move(done));
+  return agg;
 }
 
-void Machine::DiskWrite(Gpid server, BlockNum block, Bytes data,
-                        std::function<void(Result<void>)> done) {
-  auto it = server_disks_.find(server.value);
-  AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
-  if (server == kFsPid) {
-    metrics_.fileserver_disk_bytes += data.size();
-  }
-  if (tracer_ != nullptr) {
-    tracer_->Record(TraceEventKind::kDiskWrite, kNoCluster, server.value, 0, block,
-                    data.size());
-  }
-  it->second->Write(block, std::move(data), std::move(done));
+SimTime Machine::LocalNow() const {
+  ShardId s = sharded_->CurrentShard();
+  return s == kNoShard ? sharded_->Now() : sharded_->ShardNow(s);
 }
 
-void Machine::TtyEmit(Gpid server, const Bytes& data) {
+// ------------------------------------------------- ClusterEnv backends
+
+void Machine::DiskReadFrom(ClusterId from, Gpid server, BlockNum block,
+                           std::function<void(Result<Bytes>)> done) {
+  const SimTime hop = options_.config.bus.arbitration_us;
+  const ShardId home = plan_.shard_of_cluster(from);
+  sharded_->ScheduleOn(
+      kSharedShard, hop,
+      [this, home, hop, server, block, done = std::move(done)]() mutable {
+        auto it = server_disks_.find(server.value);
+        AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kDiskRead, kNoCluster, server.value, 0, block, 0);
+        }
+        it->second->Read(block, [this, home, hop, done = std::move(done)](Result<Bytes> r) mutable {
+          sharded_->ScheduleOn(home, hop,
+                               [done = std::move(done), r = std::move(r)]() mutable {
+                                 done(std::move(r));
+                               });
+        });
+      });
+}
+
+void Machine::DiskWriteFrom(ClusterId from, Gpid server, BlockNum block, Bytes data,
+                            std::function<void(Result<void>)> done) {
+  const SimTime hop = options_.config.bus.arbitration_us;
+  const ShardId home = plan_.shard_of_cluster(from);
+  sharded_->ScheduleOn(
+      kSharedShard, hop,
+      [this, home, hop, server, block, data = std::move(data),
+       done = std::move(done)]() mutable {
+        auto it = server_disks_.find(server.value);
+        AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kDiskWrite, kNoCluster, server.value, 0, block,
+                          data.size());
+        }
+        it->second->Write(block, std::move(data),
+                          [this, home, hop, done = std::move(done)](Result<void> r) mutable {
+                            sharded_->ScheduleOn(home, hop,
+                                                 [done = std::move(done), r]() mutable {
+                                                   done(r);
+                                                 });
+                          });
+      });
+}
+
+void Machine::TtyEmitFrom(ClusterId /*from*/, Gpid server, const Bytes& data) {
   ByteReader r(data);
   TtyRecord rec;
   rec.line = r.U32();
   rec.seq = r.U64();
   Bytes text = r.Blob();
   rec.text.assign(text.begin(), text.end());
-  rec.at = engine_.Now();
+  rec.at = LocalNow();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kTtyEmit, kNoCluster, server.value, 0, rec.line,
                     rec.seq);
   }
+  std::lock_guard<std::mutex> lk(state_mu_);
   auto& per_line = tty_dedup_[rec.line];
   if (per_line.count(rec.seq) != 0) {
     ++tty_duplicates_;  // recovery re-emission (§7.9 window); content equal
@@ -420,9 +528,14 @@ void Machine::TtyEmit(Gpid server, const Bytes& data) {
   tty_raw_.push_back(std::move(rec));
 }
 
-ClusterId Machine::PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) {
+ClusterId Machine::PlaceNewBackupFrom(ClusterId from, ClusterId avoid_a, ClusterId avoid_b) {
+  const Kernel& believer = *kernels_[from];
   for (ClusterId c = 0; c < kernels_.size(); ++c) {
-    if (c != avoid_a && c != avoid_b && kernels_[c]->alive()) {
+    if (c == avoid_a || c == avoid_b) {
+      continue;
+    }
+    const bool usable = c == from ? believer.alive() : believer.PeerBelievedAlive(c);
+    if (usable) {
       return c;
     }
   }
@@ -448,6 +561,7 @@ std::unique_ptr<NativeProgram> Machine::MakeServerProgram(Gpid pid) {
 }
 
 void Machine::OnServerTakeover(Gpid pid, ClusterId new_cluster) {
+  std::lock_guard<std::mutex> lk(state_mu_);
   server_locations_[pid.value] = new_cluster;
   auto patch = [&](ServerAddr& addr) {
     if (addr.pid == pid) {
@@ -464,9 +578,13 @@ void Machine::OnServerTakeover(Gpid pid, ClusterId new_cluster) {
 }
 
 void Machine::OnProcessExit(Gpid pid, int32_t status) {
+  std::lock_guard<std::mutex> lk(state_mu_);
   exit_statuses_[pid.value] = status;
 }
 
-void Machine::OnDebugPutc(Gpid pid, char c) { debug_output_[pid.value].push_back(c); }
+void Machine::OnDebugPutc(Gpid pid, char c) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  debug_output_[pid.value].push_back(c);
+}
 
 }  // namespace auragen

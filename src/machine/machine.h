@@ -9,16 +9,19 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/env.h"
 #include "src/core/kernel.h"
 #include "src/disk/disk.h"
+#include "src/machine/shard_plan.h"
 #include "src/paging/page_server.h"
 #include "src/servers/file_server.h"
 #include "src/servers/process_server.h"
 #include "src/servers/tty_server.h"
+#include "src/sim/sharded_engine.h"
 #include "src/trace/trace.h"
 
 namespace auragen {
@@ -57,6 +60,12 @@ struct MachineOptions {
   uint64_t seed = 1;
   DiskConfig disk;
 
+  // Worker threads driving the sharded engine (ShardPlan layout: shard 0 =
+  // bus + disks, shard 1+c = cluster c). 1 runs the same windowed code path
+  // without spawning threads; trace digests are bit-identical for every
+  // value (DESIGN.md §17).
+  uint32_t engine_threads = 1;
+
   ServerPlacement placement;
 
   PageServerOptions page_server;
@@ -89,6 +98,7 @@ struct MachineOptions {
     return *this;
   }
   MachineOptions& WithPageShards(uint32_t n) { config.page_shards = n; return *this; }
+  MachineOptions& WithEngineThreads(uint32_t n) { engine_threads = n; return *this; }
   MachineOptions& WithPlacement(const ServerPlacement& p) { placement = p; return *this; }
   MachineOptions& WithTrace(bool on = true) { trace.enabled = on; return *this; }
 };
@@ -101,10 +111,43 @@ struct TtyRecord {
   SimTime at = 0;
 };
 
-class Machine : public MachineEnv {
+class Machine;
+
+// A cluster's private view of the machine (its MachineEnv). Each kernel gets
+// its own, carrying the cluster shard's Engine core and a cluster-local
+// Metrics object, so nothing a kernel touches through its env is shared
+// mutable state across shards. Machine-level callbacks (exit records, tty
+// transcripts, server directory updates) forward to the Machine, which
+// guards its cross-cluster maps.
+class ClusterEnv : public MachineEnv {
+ public:
+  ClusterEnv(Machine& machine, ClusterId cluster);
+
+  Engine& engine() override;
+  InterclusterBus& bus() override;
+  const SystemConfig& config() const override;
+  Metrics& metrics() override { return metrics_; }
+  void DiskRead(Gpid server, BlockNum block,
+                std::function<void(Result<Bytes>)> done) override;
+  void DiskWrite(Gpid server, BlockNum block, Bytes data,
+                 std::function<void(Result<void>)> done) override;
+  void TtyEmit(Gpid server, const Bytes& data) override;
+  ClusterId PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) override;
+  std::unique_ptr<NativeProgram> MakeServerProgram(Gpid pid) override;
+  void OnServerTakeover(Gpid pid, ClusterId new_cluster) override;
+  void OnProcessExit(Gpid pid, int32_t status) override;
+  void OnDebugPutc(Gpid pid, char c) override;
+
+ private:
+  Machine& machine_;
+  ClusterId cluster_;
+  Metrics metrics_;
+};
+
+class Machine {
  public:
   explicit Machine(MachineOptions options);
-  ~Machine() override;
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -128,9 +171,18 @@ class Machine : public MachineEnv {
   }
 
   // --- driving the simulation ---
-  Engine& engine() override { return engine_; }
-  void Run(SimTime duration) { engine_.Run(engine_.Now() + duration); }
-  // Steps until `pred` holds or `max_duration` elapses; true if pred held.
+  // The machine always runs on the sharded engine (threads=1 is the
+  // sequential reference execution of the same windowed code path).
+  ShardedEngine& sharded_engine() { return *sharded_; }
+  const ShardPlan& shard_plan() const { return plan_; }
+  SimTime Now() const { return sharded_->Now(); }
+  uint64_t dispatched() const { return sharded_->dispatched(); }
+  void set_dispatch_limit(uint64_t limit) { sharded_->set_dispatch_limit(limit); }
+  bool dispatch_limit_hit() const { return sharded_->dispatch_limit_hit(); }
+  void Run(SimTime duration);
+  // Runs until `pred` holds or `max_duration` elapses; true if pred held.
+  // The predicate is evaluated at window barriers (the deterministic unit of
+  // parallel progress), so a run may overshoot by up to the lookahead.
   bool RunUntil(const std::function<bool()>& pred, SimTime max_duration);
   // Runs until every spawned user process has exited (or timeout).
   bool RunUntilAllExited(SimTime max_duration);
@@ -139,9 +191,24 @@ class Machine : public MachineEnv {
   // still be in flight.
   void Settle(SimTime duration = 500'000) { Run(duration); }
 
+  // Machine-level actions during a run (fault injection, console input)
+  // are control events: they fire between windows with every shard clock
+  // aligned, so they may touch any cluster and are deterministic at any
+  // thread count. See ShardedEngine::ScheduleControlAt.
+  void ScheduleControlAt(SimTime when, Task fn) {
+    sharded_->ScheduleControlAt(when, std::move(fn));
+  }
+  void ScheduleControl(SimTime delay, Task fn) {
+    sharded_->ScheduleControl(delay, std::move(fn));
+  }
+
   // --- fault injection ---
   void CrashCluster(ClusterId cluster);
   void CrashClusterAt(SimTime when, ClusterId cluster);
+  // Bus line faults (dual-line outage scenarios). Safe outside a run or
+  // from a control event.
+  void FailBusLine(int line);
+  void RestoreBusLine(int line);
   // Returns a restored cluster to service. Peripheral servers whose backups
   // died with it re-create them there (§7.3 halfback return-to-service).
   void RestoreCluster(ClusterId cluster);
@@ -159,7 +226,11 @@ class Machine : public MachineEnv {
 
   // --- observation ---
   Kernel& kernel(ClusterId cluster) { return *kernels_[cluster]; }
-  Metrics& metrics() override { return metrics_; }
+  // Machine-wide metrics, aggregated across the per-cluster Metrics objects
+  // (counters sum; the last_* stamps take the machine-wide max).
+  Metrics metrics() const;
+  // A single cluster's own counters.
+  Metrics& cluster_metrics(ClusterId cluster) { return envs_[cluster]->metrics(); }
   const std::map<uint64_t, int32_t>& exit_statuses() const { return exit_statuses_; }
   bool HasExited(Gpid pid) const { return exit_statuses_.count(pid.value) != 0; }
   int32_t ExitStatus(Gpid pid) const { return exit_statuses_.at(pid.value); }
@@ -175,21 +246,9 @@ class Machine : public MachineEnv {
   MirroredDisk& page_disk(uint32_t shard = 0) { return *page_disks_[shard]; }
   // Null unless MachineOptions::trace.enabled was set.
   Tracer* tracer() { return tracer_.get(); }
-  InterclusterBus& bus() override { return *bus_; }
-  const SystemConfig& config() const override { return options_.config; }
+  InterclusterBus& bus() { return *bus_; }
+  const SystemConfig& config() const { return options_.config; }
   Rng& rng() { return rng_; }
-
-  // --- MachineEnv ---
-  void DiskRead(Gpid server, BlockNum block,
-                std::function<void(Result<Bytes>)> done) override;
-  void DiskWrite(Gpid server, BlockNum block, Bytes data,
-                 std::function<void(Result<void>)> done) override;
-  void TtyEmit(Gpid server, const Bytes& data) override;
-  ClusterId PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) override;
-  std::unique_ptr<NativeProgram> MakeServerProgram(Gpid pid) override;
-  void OnServerTakeover(Gpid pid, ClusterId new_cluster) override;
-  void OnProcessExit(Gpid pid, int32_t status) override;
-  void OnDebugPutc(Gpid pid, char c) override;
 
   // Well-known server pids (cluster 32 is fictitious: these ids can never
   // collide with kernel-allocated pids).
@@ -201,17 +260,50 @@ class Machine : public MachineEnv {
   static constexpr Gpid PageShardPid(uint32_t shard) { return Gpid::Make(32, 5 + shard); }
 
  private:
+  friend class ClusterEnv;
+
   void SpawnServers();
+  bool AllUsersExited() const;
+  // Current simulated instant from wherever we are called: the executing
+  // shard's clock inside a callback, the global clock otherwise.
+  SimTime LocalNow() const;
+
+  // --- ClusterEnv backends (called from cluster shards during a run) ---
+  // Disk traffic hops to the shared shard (where the disks live) and the
+  // completion hops back, each hop carrying the §5.1 minimum latency
+  // (bus.arbitration_us), which keeps the cross-shard posts legal under the
+  // engine's lookahead contract.
+  void DiskReadFrom(ClusterId from, Gpid server, BlockNum block,
+                    std::function<void(Result<Bytes>)> done);
+  void DiskWriteFrom(ClusterId from, Gpid server, BlockNum block, Bytes data,
+                     std::function<void(Result<void>)> done);
+  void TtyEmitFrom(ClusterId from, Gpid server, const Bytes& data);
+  // Fullback placement by the *calling kernel's* belief about peer liveness
+  // (heartbeats + crash notices): on the parallel machine another cluster's
+  // ground truth is unreadable from this shard — and the paper's kernels
+  // only ever saw the bus anyway.
+  ClusterId PlaceNewBackupFrom(ClusterId from, ClusterId avoid_a, ClusterId avoid_b);
+  std::unique_ptr<NativeProgram> MakeServerProgram(Gpid pid);
+  void OnServerTakeover(Gpid pid, ClusterId new_cluster);
+  void OnProcessExit(Gpid pid, int32_t status);
+  void OnDebugPutc(Gpid pid, char c);
 
   MachineOptions options_;
-  Engine engine_;
+  ShardPlan plan_;
+  std::unique_ptr<ShardedEngine> sharded_;
   Rng rng_;
-  Metrics metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InterclusterBus> bus_;
   std::unique_ptr<MirroredDisk> fs_disk_;
   std::vector<std::unique_ptr<MirroredDisk>> page_disks_;  // one per shard
+  std::vector<std::unique_ptr<ClusterEnv>> envs_;          // one per cluster
   std::vector<std::unique_ptr<Kernel>> kernels_;
+
+  // Guards the cross-cluster observation maps below: cluster shards write
+  // them concurrently through their envs (exits, debug output, takeovers,
+  // tty records). Control events and post-run readers are already ordered
+  // by the engine's barrier handshake.
+  mutable std::mutex state_mu_;
 
   ServerAddr fs_addr_;
   ServerAddr ps_addr_;

@@ -83,6 +83,18 @@ class Engine {
   // none. Used by ShardedEngine to pick the next window.
   SimTime NextEventTime() const;
 
+  // Advances the clock to `t` without dispatching anything. Only legal when
+  // no pending event would be skipped. ShardedEngine uses this to align
+  // every shard clock at control points between windows, so that schedules
+  // issued outside callbacks base on the global simulated-through time.
+  void AdvanceTo(SimTime t) {
+    if (now_ < t) {
+      AURAGEN_CHECK(NextEventTime() >= t)
+          << "AdvanceTo(" << t << ") would skip a pending event at " << NextEventTime();
+      now_ = t;
+    }
+  }
+
   // Id of the most recently dispatched event (valid after Step() returned
   // true). Lets an embedding driver trace dispatches without a callback in
   // the hot loop.

@@ -95,6 +95,39 @@ void ShardedEngine::Cancel(ShardId shard, EventId id) {
   shards_[shard]->core.Cancel(id);
 }
 
+void ShardedEngine::ScheduleControlAt(SimTime when, Task fn) {
+  AURAGEN_CHECK(CurrentShard() == kNoShard)
+      << "control events may only be scheduled from outside shard callbacks";
+  AURAGEN_CHECK(when >= now_) << "control scheduled into the past: " << when << " < " << now_;
+  controls_.emplace(when, std::move(fn));
+}
+
+void ShardedEngine::SyncShardClocks() {
+  AURAGEN_CHECK(tl_engine == nullptr) << "SyncShardClocks from inside a callback";
+  for (auto& sh : shards_) {
+    Engine& core = sh->core;
+    // Lenient on purpose: after a dispatch-limit halt a core may still hold
+    // events behind the global clock; leave such a core where it stopped.
+    if (core.Now() < now_ && core.NextEventTime() >= now_) {
+      core.AdvanceTo(now_);
+    }
+  }
+}
+
+void ShardedEngine::RunControlsAt(SimTime at) {
+  for (auto& sh : shards_) {
+    sh->core.AdvanceTo(at);
+  }
+  now_ = std::max(now_, at);
+  // Fire in insertion order. A control may schedule further controls at the
+  // same instant; they are appended to the equal range and fire here too.
+  while (!controls_.empty() && controls_.begin()->first <= at) {
+    Task fn = std::move(controls_.begin()->second);
+    controls_.erase(controls_.begin());
+    fn();
+  }
+}
+
 void ShardedEngine::Trace(TraceEventKind kind, ClusterId cluster, uint64_t gpid,
                           uint64_t channel, uint64_t a, uint64_t b) {
   if (tracer_ == nullptr || !tracer_->WantsKind(kind)) {
@@ -215,9 +248,14 @@ void ShardedEngine::BarrierDrain() {
 }
 
 uint64_t ShardedEngine::Run(SimTime until) {
+  return Run(until, std::function<bool()>());
+}
+
+uint64_t ShardedEngine::Run(SimTime until, const std::function<bool()>& stop_pred) {
   AURAGEN_CHECK(tl_engine == nullptr) << "ShardedEngine::Run is not reentrant";
   stop_.store(false, std::memory_order_relaxed);
   limit_hit_ = false;
+  bool pred_halt = false;
   const uint64_t start_dispatched = total_dispatched_;
   stage_dispatch_trace_ =
       tracer_ != nullptr && tracer_->WantsKind(TraceEventKind::kEngineDispatch);
@@ -235,12 +273,27 @@ uint64_t ShardedEngine::Run(SimTime until) {
     for (const auto& sh : shards_) {
       window_start = std::min(window_start, sh->core.NextEventTime());
     }
+    // A control due at or before the next shard event fires first, between
+    // windows, with every shard clock aligned to the control time.
+    const SimTime ctrl =
+        controls_.empty() ? kSimForever : controls_.begin()->first;
+    if (ctrl != kSimForever && ctrl <= window_start && ctrl <= until) {
+      RunControlsAt(ctrl);
+      if (stop_pred && stop_pred()) {
+        pred_halt = true;
+        break;
+      }
+      continue;
+    }
     if (window_start == kSimForever || window_start > until) {
       break;  // drained (up to the horizon)
     }
     SimTime window_end = window_start + lookahead_;
     if (until != kSimForever && window_end > until + 1) {
       window_end = until + 1;  // dispatch through `until` inclusive, no further
+    }
+    if (window_end > ctrl) {
+      window_end = ctrl;  // never dispatch past a pending control
     }
     window_budget_ =
         dispatch_limit_ == 0 ? 0 : dispatch_limit_ - total_dispatched_;
@@ -259,11 +312,15 @@ uint64_t ShardedEngine::Run(SimTime until) {
     total_dispatched_ = total;
     BarrierDrain();
     now_ = std::max(now_, window_end - 1);
+    if (stop_pred && stop_pred()) {
+      pred_halt = true;
+      break;
+    }
   }
 
   // Advance to the horizon only when the run earned it (mirrors
   // Engine::Run's dispatch-limit/Stop semantics).
-  if (until != kSimForever && now_ < until && !limit_hit_ &&
+  if (until != kSimForever && now_ < until && !limit_hit_ && !pred_halt &&
       !stop_.load(std::memory_order_relaxed)) {
     now_ = until;
   }

@@ -45,6 +45,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -94,6 +96,15 @@ class ShardedEngine {
   // The shard whose callback is executing on this thread, or kNoShard.
   ShardId CurrentShard() const;
 
+  // Direct access to a shard's Engine core. Components homed on a shard
+  // (kernels, disks) hold this reference and schedule on it natively; the
+  // lookahead contract applies only to cross-shard traffic, which must go
+  // through ScheduleOn/ScheduleAtOn.
+  Engine& shard_core(ShardId shard) {
+    AURAGEN_CHECK(shard < shards_.size());
+    return shards_[shard]->core;
+  }
+
   // Schedules onto `shard`. From inside a callback: same-shard schedules are
   // unrestricted; cross-shard schedules must land at or after the current
   // window's end (model latency >= lookahead guarantees this). From outside
@@ -111,6 +122,30 @@ class ShardedEngine {
   // `until` only when the run simulated through it (not on Stop() or a
   // dispatch-limit halt).
   uint64_t Run(SimTime until = kSimForever);
+
+  // Run with a stop predicate, evaluated on the driving thread at every
+  // window barrier and after every control batch — the deterministic units
+  // of progress, so the halt point is identical for every thread count. A
+  // predicate halt leaves the clock at the last completed window (no horizon
+  // fast-forward). Returns the number of events dispatched.
+  uint64_t Run(SimTime until, const std::function<bool()>& stop_pred);
+
+  // Control events: machine-level actions (fault injection, console input,
+  // restore timers) that must observe and mutate state across many shards.
+  // They run on the driving thread *between* windows, with every shard clock
+  // aligned to the control time (AdvanceTo), so they are data-race-free and
+  // fire at the same deterministic point for every thread count. A control
+  // fires only once every shard's next pending event is at or after its
+  // time. Only legal from outside a shard callback (or from another control).
+  void ScheduleControlAt(SimTime when, Task fn);
+  void ScheduleControl(SimTime delay, Task fn) { ScheduleControlAt(now_ + delay, std::move(fn)); }
+
+  // Aligns every shard core's clock with the global simulated-through time.
+  // Call after Run() before issuing direct shard-core schedules from the
+  // outside (e.g. spawning onto a machine that already ran): a core that
+  // idled keeps the clock of its last event otherwise, and a delay-relative
+  // schedule on it would land in the global past.
+  void SyncShardClocks();
 
   // Requests a halt at the next window barrier (the deterministic unit of
   // progress). Callable from inside callbacks.
@@ -171,6 +206,9 @@ class ShardedEngine {
   void ExecuteWindowParallel(SimTime window_end);
   void BarrierDrain();
   void WorkerLoop();
+  // Fires every control scheduled at `at` (in insertion order), with all
+  // shard clocks advanced to `at` first.
+  void RunControlsAt(SimTime at);
 
   const SimTime lookahead_;
   uint32_t threads_ = 1;
@@ -186,6 +224,9 @@ class ShardedEngine {
   std::atomic<bool> stop_{false};
   Tracer* tracer_ = nullptr;
   std::vector<MergeRef> merge_scratch_;
+  // Pending control events, fired between windows on the driving thread.
+  // multimap preserves insertion order among equal times.
+  std::multimap<SimTime, Task> controls_;
 
   // Worker pool (only when threads_ > 1). Handshake: main publishes a
   // window under mu_ (bumping window_seq_), workers claim shards via the

@@ -137,6 +137,10 @@ Tracer::Tracer(TraceOptions options) : options_(options) {
 void Tracer::Record(TraceEventKind kind, ClusterId cluster, uint64_t gpid,
                     uint64_t channel, uint64_t a, uint64_t b) {
   if (!WantsKind(kind)) return;  // skip the clock call for masked kinds
+  if (record_hook_) {
+    record_hook_(kind, cluster, gpid, channel, a, b);
+    return;
+  }
   RecordAt(clock_(), kind, cluster, gpid, channel, a, b);
 }
 

@@ -164,6 +164,15 @@ class Tracer {
   // Timestamp source; the machine points this at its engine's clock.
   void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
+  // Routing hook for parallel runs: when set, Record() hands the event to
+  // the hook instead of folding it directly — the machine points this at
+  // ShardedEngine::Trace, which stages records per shard and replays them
+  // through RecordAt() at each window barrier in deterministic merge order.
+  // RecordAt() itself is never intercepted (it is the merge sink).
+  using RecordHook = std::function<void(TraceEventKind, ClusterId, uint64_t, uint64_t,
+                                        uint64_t, uint64_t)>;
+  void set_record_hook(RecordHook hook) { record_hook_ = std::move(hook); }
+
   bool WantsKind(TraceEventKind k) const { return (options_.kind_mask & TraceKindBit(k)) != 0; }
 
   // The single hot path. Callers guard with `if (tracer_ != nullptr)`, so the
@@ -193,6 +202,7 @@ class Tracer {
  private:
   TraceOptions options_;
   std::function<SimTime()> clock_;
+  RecordHook record_hook_;
   std::vector<TraceEvent> events_;  // ring mode: circular, head_ = oldest
   size_t head_ = 0;
   TraceDigest digest_;

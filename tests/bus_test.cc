@@ -8,6 +8,7 @@
 
 #include "src/bus/intercluster_bus.h"
 #include "src/sim/engine.h"
+#include "src/sim/sharded_engine.h"
 
 namespace auragen {
 namespace {
@@ -131,6 +132,108 @@ TEST(Bus, BothLinesDeadQueuesUntilRestore) {
   f.bus.RestoreLine(1);
   f.engine.Run();
   EXPECT_EQ(f.endpoints[1].frames.size(), 1u);
+}
+
+TEST(Bus, RestoreRestartsWhenOnlyUrgentFramesAreQueued) {
+  // Regression: RestoreLine only checked the regular lane, so heartbeats
+  // queued urgent during a dual-line outage stayed stranded forever after
+  // the restore — every peer then saw heartbeat silence and declared false
+  // crashes. The urgent lane must restart the pump too.
+  BusFixture f;
+  f.bus.FailLine(0);
+  f.bus.FailLine(1);
+  f.bus.Transmit(0, MaskOf(1), Bytes{7}, /*urgent=*/true);
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[1].frames.empty());
+  f.bus.RestoreLine(0);
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  EXPECT_EQ((*f.endpoints[1].frames[0].payload)[0], 7);
+}
+
+TEST(Bus, HeartbeatsQueuedUnderDualLineOutageDrainUrgentFirst) {
+  // §7.10 liveness: after a dual-line outage ends, the queued heartbeats
+  // win arbitration over the regular backlog that piled up alongside them.
+  BusFixture f;
+  f.bus.FailLine(0);
+  f.bus.FailLine(1);
+  f.bus.Transmit(0, MaskOf(1), Bytes{1});  // regular backlog, queued first
+  f.bus.Transmit(0, MaskOf(1), Bytes{2});
+  f.bus.Transmit(2, MaskOf(1), Bytes{99}, /*urgent=*/true);  // heartbeat
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[1].frames.empty());
+  f.bus.RestoreLine(1);
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 3u);
+  EXPECT_EQ((*f.endpoints[1].frames[0].payload)[0], 99);
+  EXPECT_EQ((*f.endpoints[1].frames[1].payload)[0], 1);
+  EXPECT_EQ((*f.endpoints[1].frames[2].payload)[0], 2);
+}
+
+TEST(Bus, InFlightFrameAbortedByLineFailureRetriesOnSurvivor) {
+  // Failing the line mid-transmission kills the frame on the wire: it must
+  // go back to the head of its lane and retry on the surviving line, with
+  // only the successful attempt charged to the stats.
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1), Bytes(16, 0));
+  const SimTime frame_time = f.config.FrameTime(16 + Frame::kHeaderBytes);
+  f.engine.Schedule(frame_time / 2, [&] { f.bus.FailLine(0); });
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  EXPECT_EQ(f.bus.stats().frames_sent, 1u);
+  EXPECT_EQ(f.bus.stats().failovers, 1u);
+  EXPECT_EQ(f.bus.stats().busy_us, frame_time);  // aborted attempt not charged
+  EXPECT_EQ(f.endpoints[1].times[0],
+            frame_time / 2 + f.config.line_failover_timeout_us + frame_time);
+}
+
+TEST(Bus, DualLineDeathMidTransmitKeepsAccountingConsistent) {
+  // Regression: when both lines died mid-transmission the frame had already
+  // been popped with busy_us charged, leaving the stats claiming a send that
+  // never happened and `transmitting_` stranded. Now nothing is charged
+  // until a transmission completes, and the restore replays the frame.
+  BusFixture f;
+  f.bus.Transmit(0, MaskOf(1), Bytes(16, 0));
+  const SimTime frame_time = f.config.FrameTime(16 + Frame::kHeaderBytes);
+  f.engine.Schedule(1, [&] {
+    f.bus.FailLine(0);
+    f.bus.FailLine(1);
+  });
+  f.engine.Run();
+  EXPECT_TRUE(f.endpoints[1].frames.empty());
+  EXPECT_EQ(f.bus.stats().frames_sent, 0u);
+  EXPECT_EQ(f.bus.stats().busy_us, 0u);
+  EXPECT_EQ(f.bus.stats().failover_wait_us, 0u);
+  f.bus.RestoreLine(0);
+  f.engine.Run();
+  ASSERT_EQ(f.endpoints[1].frames.size(), 1u);
+  EXPECT_EQ(f.bus.stats().frames_sent, 1u);
+  EXPECT_EQ(f.bus.stats().busy_us, frame_time);
+  EXPECT_EQ(f.bus.stats().failovers, 0u);  // line 0 came back; no failover path
+}
+
+TEST(Bus, ShardedModeDeliversAcrossShardsWithPropagationLatency) {
+  // ShardPlan layout: arbitration on shard 0, each cluster on shard 1+c.
+  // Both hops (sender->bus, line->receiver) carry arbitration_us, which is
+  // what licenses the cross-shard posts under the lookahead contract.
+  ShardedEngineOptions seo;
+  seo.num_shards = 5;
+  seo.threads = 1;
+  seo.lookahead_us = 2;
+  ShardedEngine engine(seo);
+  BusConfig config;
+  InterclusterBus bus(engine, config, 4);
+  Recorder endpoints[4];
+  for (ClusterId c = 0; c < 4; ++c) {
+    bus.AttachEndpoint(c, &endpoints[c]);
+  }
+  bus.Transmit(0, MaskOf(1) | MaskOf(3), Bytes{42});
+  engine.Run(10'000);
+  ASSERT_EQ(endpoints[1].frames.size(), 1u);
+  ASSERT_EQ(endpoints[3].frames.size(), 1u);
+  EXPECT_EQ(*endpoints[1].frames[0].payload, Bytes{42});
+  EXPECT_EQ(bus.stats().frames_sent, 1u);
+  EXPECT_EQ(bus.stats().deliveries, 2u);
 }
 
 TEST(Bus, InjectedDropViolatesAllOrNothing) {

@@ -120,7 +120,7 @@ out: .byte 0
   machine.SpawnUserProgram(0, ping, a);
   machine.SpawnUserProgram(2, pong, b);
   if (crash) {
-    machine.CrashClusterAt(machine.engine().Now() + 1'000, 2);
+    machine.CrashClusterAt(machine.Now() + 1'000, 2);
   }
   EXPECT_TRUE(machine.RunUntilAllExited(300'000'000));
   machine.Settle();
@@ -133,8 +133,8 @@ out: .byte 0
   o.syncs = machine.metrics().syncs;
   o.takeovers = machine.metrics().takeovers;
   o.suppressed = machine.metrics().sends_suppressed;
-  o.end_time = machine.engine().Now();
-  o.events = machine.engine().dispatched();
+  o.end_time = machine.Now();
+  o.events = machine.dispatched();
   o.digest = machine.tracer()->digest();
   o.trace = machine.tracer()->Events();
   return o;

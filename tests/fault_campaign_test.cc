@@ -127,6 +127,29 @@ TEST(FaultCampaign, RegressionSeedsStayFixed) {
   }
 }
 
+// The dual-line bus outage scenario (§7.1 double fault): both lines die
+// back-to-back, queued traffic (heartbeats urgent-first) drains after the
+// restore, and no peer falsely declares a crash during the dark window. A
+// handful of the first seeds that draw this scenario must run green.
+TEST(FaultCampaign, BusDualLineOutageScenarioSurvives) {
+  CampaignOptions opt;
+  int found = 0;
+  for (uint64_t seed = 1; seed <= 200 && found < 3; ++seed) {
+    FaultPlan plan = MakeScenarioPlan(seed, opt);
+    if (plan.scenario != ScenarioKind::kBusDualLineOutage) {
+      continue;
+    }
+    ++found;
+    ScenarioResult result = RunScenario(seed, opt);
+    EXPECT_TRUE(result.ok) << "seed " << seed << " [" << result.scenario
+                           << "]: " << result.failure;
+    // The outage must not be mistaken for a cluster failure.
+    EXPECT_EQ(result.crashes_handled, 0u) << "seed " << seed;
+    EXPECT_EQ(result.takeovers, 0u) << "seed " << seed;
+  }
+  EXPECT_EQ(found, 3) << "scenario kind never drawn in 200 seeds";
+}
+
 // A parallel campaign (seeds spread over a worker pool) must reproduce the
 // sequential campaign seed for seed — same outcomes, same trace digests.
 TEST(FaultCampaign, ParallelSeedsMatchSequential) {

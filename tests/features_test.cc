@@ -327,7 +327,7 @@ buf: .space 16
   opts.with_tty = true;
   Gpid pid = machine.SpawnUserProgram(0, prog, opts);
   machine.Run(30'000);  // give the write binding time to register
-  machine.InjectTtyInput(0, "echo-me", machine.engine().Now() + 1000);
+  machine.InjectTtyInput(0, "echo-me", machine.Now() + 1000);
   ASSERT_TRUE(machine.RunUntilAllExited(20'000'000));
   machine.Settle();
   EXPECT_EQ(machine.ExitStatus(pid), 0);
@@ -364,7 +364,7 @@ flag: .word 0
   opts.with_tty = true;
   Gpid pid = machine.SpawnUserProgram(1, prog, opts);
   machine.Run(40'000);
-  machine.InjectTtyInput(0, "\x03", machine.engine().Now() + 1000);
+  machine.InjectTtyInput(0, "\x03", machine.Now() + 1000);
   ASSERT_TRUE(machine.RunUntilAllExited(30'000'000));
   machine.Settle();
   EXPECT_EQ(machine.ExitStatus(pid), 3);

@@ -297,7 +297,7 @@ out: .ascii "z"
     opts.backup_cluster = 0;
     machine.SpawnUserProgram(1, prog, opts);
     if (crash) {
-      machine.CrashClusterAt(machine.engine().Now() + 55'000, 1);
+      machine.CrashClusterAt(machine.Now() + 55'000, 1);
     }
     machine.RunUntilAllExited(60'000'000);
     machine.Settle();
@@ -340,7 +340,7 @@ out: .ascii "q"
     opts.with_tty = true;
     opts.backup_cluster = 0;
     machine.SpawnUserProgram(1, prog, opts);
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, 1);
+    machine.CrashClusterAt(machine.Now() + crash_at, 1);
     bool done = machine.RunUntilAllExited(20'000'000);
     machine.Settle();
     if (!done || machine.TtyOutput(0) != "qqqqqqqqqq" || machine.TtyDuplicates() != 0) {

@@ -37,7 +37,7 @@ SloReport RunKv(const MachineOptions& mo, const KvOptions& kv,
   machine.Boot();
   KvDeployment d = DeployKv(machine, kv);
   if (crash_at != 0) {
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, crash_cluster);
+    machine.CrashClusterAt(machine.Now() + crash_at, crash_cluster);
   }
   const bool done = machine.RunUntil(
       [&] { return KvClientsDone(machine, d); }, 500'000'000);
@@ -117,7 +117,7 @@ TEST(KvWorkload, DeterministicTraceDigest) {
     Machine machine(mo);
     machine.Boot();
     KvDeployment d = DeployKv(machine, SmallOptions());
-    machine.CrashClusterAt(machine.engine().Now() + 4'000, 1);
+    machine.CrashClusterAt(machine.Now() + 4'000, 1);
     machine.RunUntil([&] { return KvClientsDone(machine, d); }, 500'000'000);
     machine.Settle();
     return machine.tracer()->digest().ToString();

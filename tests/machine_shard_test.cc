@@ -1,0 +1,93 @@
+// The full Machine on the ShardPlan layout (DESIGN.md §17): real boots and
+// fault-campaign scenarios must produce bit-identical trace digests at any
+// worker-thread count. These are the machine-level counterparts of
+// engine_test.cc's ClusterModel digest matrix — same shape, but the events
+// under the digest are the real kernels, servers, bus, and disks.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/campaign.h"
+#include "src/machine/machine.h"
+
+namespace auragen {
+namespace {
+
+struct BootDigest {
+  uint64_t hash = 0;
+  uint64_t count = 0;
+  uint64_t dispatched = 0;
+};
+
+BootDigest BootAndRun(uint32_t clusters, uint64_t seed, uint32_t threads) {
+  MachineOptions mo;
+  mo.config.num_clusters = clusters;
+  mo.seed = seed;
+  mo.engine_threads = threads;
+  mo.trace.enabled = true;
+  mo.trace.unbounded = false;
+  mo.trace.ring_capacity = 4096;
+  Machine machine(mo);
+  machine.Boot();
+  machine.Run(50'000);
+  BootDigest d;
+  d.hash = machine.tracer()->digest().hash;
+  d.count = machine.tracer()->digest().count;
+  d.dispatched = machine.dispatched();
+  return d;
+}
+
+TEST(MachineShards, BootDigestMatrixMatchesSequential) {
+  for (uint32_t clusters : {4u, 8u}) {
+    for (uint64_t seed : {1ull, 7ull, 42ull}) {
+      const BootDigest want = BootAndRun(clusters, seed, 1);
+      ASSERT_GT(want.count, 0u);
+      for (uint32_t threads : {2u, 4u}) {
+        const BootDigest got = BootAndRun(clusters, seed, threads);
+        EXPECT_EQ(got.hash, want.hash)
+            << "clusters=" << clusters << " seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(got.count, want.count)
+            << "clusters=" << clusters << " seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(got.dispatched, want.dispatched)
+            << "clusters=" << clusters << " seed=" << seed << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(MachineShards, ParallelMachineMatchesSequential) {
+  // End-to-end: full campaign scenarios (seeded workload + seeded fault
+  // plan, reference/faulted runs, every invariant) with the machine's shards
+  // spread over worker threads. The faulted run's trace digest is the
+  // cross-mode oracle; ok-ness checks everything else.
+  CampaignOptions opt;
+  opt.num_clusters = 4;
+  opt.check_determinism = false;  // the thread matrix below is the replay
+  for (uint64_t seed : {1ull, 5ull, 11ull, 23ull}) {
+    opt.machine_threads = 1;
+    const ScenarioResult want = RunScenario(seed, opt);
+    EXPECT_TRUE(want.ok) << "seed=" << seed << ": " << want.failure;
+    for (uint32_t threads : {2u, 4u}) {
+      opt.machine_threads = threads;
+      const ScenarioResult got = RunScenario(seed, opt);
+      EXPECT_TRUE(got.ok) << "seed=" << seed << " threads=" << threads << ": "
+                          << got.failure;
+      EXPECT_EQ(got.scenario, want.scenario);
+      EXPECT_EQ(got.trace_digest.hash, want.trace_digest.hash)
+          << "seed=" << seed << " threads=" << threads << " (" << want.scenario << ")";
+      EXPECT_EQ(got.trace_digest.count, want.trace_digest.count)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MachineShards, ShardPlanDescribesTheLayout) {
+  MachineOptions mo;
+  mo.config.num_clusters = 4;
+  Machine machine(mo);
+  EXPECT_EQ(machine.shard_plan().num_shards, 5u);
+  EXPECT_EQ(machine.shard_plan().shard_of_cluster(2), 3u);
+  EXPECT_EQ(machine.shard_plan().shared_shard(), kSharedShard);
+}
+
+}  // namespace
+}  // namespace auragen

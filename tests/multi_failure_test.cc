@@ -144,8 +144,8 @@ TEST(MultiFailure, TwoClustersCrashWithinOneScanWindow) {
   machine.Boot();
   PairHandles pair = SpawnPair(machine, /*pc=*/0, /*pb=*/2, /*cc=*/1, /*cb=*/3,
                                kItems, /*pace=*/5000, BackupMode::kFullback);
-  machine.CrashClusterAt(machine.engine().Now() + 30'000, 2);
-  machine.CrashClusterAt(machine.engine().Now() + 30'001, 3);
+  machine.CrashClusterAt(machine.Now() + 30'000, 2);
+  machine.CrashClusterAt(machine.Now() + 30'001, 3);
   ASSERT_TRUE(machine.RunUntilAllExited(600'000'000));
   machine.Settle();
   EXPECT_EQ(machine.ExitStatus(pair.producer), 0);
@@ -206,7 +206,7 @@ TEST(MultiFailure, BackupClusterDiesThenPrimaryDies) {
     PairHandles pair = SpawnPair(reference, /*pc=*/0, /*pb=*/1, /*cc=*/2,
                                  /*cb=*/3, kItems, /*pace=*/5000,
                                  BackupMode::kFullback);
-    SimTime base = reference.engine().Now();
+    SimTime base = reference.Now();
     reference.CrashClusterAt(base + 30'000, 3);
     ASSERT_TRUE(reference.RunUntilAllExited(600'000'000));
     late_read_at = FirstEventAt(reference, TraceEventKind::kDeliverPrimary,
@@ -217,7 +217,7 @@ TEST(MultiFailure, BackupClusterDiesThenPrimaryDies) {
   machine.Boot();
   PairHandles pair = SpawnPair(machine, /*pc=*/0, /*pb=*/1, /*cc=*/2, /*cb=*/3,
                                kItems, /*pace=*/5000, BackupMode::kFullback);
-  SimTime base = machine.engine().Now();
+  SimTime base = machine.Now();
   machine.CrashClusterAt(base + 30'000, 3);    // consumer's backup dies
   machine.CrashClusterAt(late_read_at + 10, 2);  // then the consumer's primary
   ASSERT_TRUE(machine.RunUntilAllExited(600'000'000));
@@ -247,7 +247,7 @@ TEST(MultiFailure, ReplacementBackupClusterDiesBeforeReadyConsumed) {
     reference.Boot();
     PairHandles pair = SpawnPair(reference, /*pc=*/1, /*pb=*/3, /*cc=*/2,
                                  /*cb=*/3, kItems, 5000, BackupMode::kFullback);
-    reference.CrashClusterAt(reference.engine().Now() + 40'000, 2);
+    reference.CrashClusterAt(reference.Now() + 40'000, 2);
     ASSERT_TRUE(reference.RunUntilAllExited(600'000'000));
     takeover_at = FirstEventAt(reference, TraceEventKind::kTakeover, pair.consumer, 0);
     ASSERT_NE(takeover_at, 0u) << "reference run never took over the consumer";
@@ -256,7 +256,7 @@ TEST(MultiFailure, ReplacementBackupClusterDiesBeforeReadyConsumed) {
   machine.Boot();
   PairHandles pair = SpawnPair(machine, /*pc=*/1, /*pb=*/3, /*cc=*/2,
                                /*cb=*/3, kItems, 5000, BackupMode::kFullback);
-  machine.CrashClusterAt(machine.engine().Now() + 40'000, 2);
+  machine.CrashClusterAt(machine.Now() + 40'000, 2);
   // The consumer takes over at c3 and (c2 dead) rebuilds its backup at the
   // lowest free cluster, c0; kill c0 moments after the takeover, while
   // kBackupReady and the held releases are still in flight.
@@ -293,7 +293,7 @@ TEST(MultiFailure, SaveLegArrivingAfterTakeoverFlipIsDelivered) {
   PairHandles pair = SpawnPair(machine, 0, 2, 1, 3, kItems, 5000,
                                BackupMode::kQuarterback);
   Gpid victim = pair.consumer;
-  machine.engine().ScheduleAt(read_at + 200, [&machine, victim] {
+  machine.ScheduleControlAt(read_at + 200, [&machine, victim] {
     machine.FailProcess(1, victim);
   });
   ASSERT_TRUE(machine.RunUntilAllExited(600'000'000));

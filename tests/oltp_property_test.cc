@@ -130,7 +130,7 @@ std::string RunBank(ClusterId crash_cluster, SimTime crash_at, bool* completed) 
   (void)client;
   ClusterId tty_primary_at_crash = machine.tty_server_addr().primary;
   if (crash_at != 0) {
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, crash_cluster);
+    machine.CrashClusterAt(machine.Now() + crash_at, crash_cluster);
   }
   *completed = machine.RunUntilAllExited(120'000'000);
   machine.Settle();

@@ -135,7 +135,7 @@ std::string RunFleet(uint64_t seed, bool crash, ClusterId crash_cluster, SimTime
                              Consumer(static_cast<int>(i), pair.items), copts);
   }
   if (crash) {
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, crash_cluster);
+    machine.CrashClusterAt(machine.Now() + crash_at, crash_cluster);
   }
   *completed = machine.RunUntilAllExited(600'000'000);
   machine.Settle();

@@ -69,7 +69,7 @@ bad:
   opts.backup_cluster = 0;
   Gpid pid = machine.SpawnUserProgram(1, prog, opts);
   // PS lives in cluster 0; kill it mid-run.
-  machine.CrashClusterAt(machine.engine().Now() + 25'000, 0);
+  machine.CrashClusterAt(machine.Now() + 25'000, 0);
   ASSERT_TRUE(machine.RunUntilAllExited(120'000'000));
   machine.Settle();
   EXPECT_EQ(machine.ExitStatus(pid), 6);
@@ -128,7 +128,7 @@ buf: .space 64
   opts.backup_cluster = 1;
   Gpid pid = machine.SpawnUserProgram(1, prog, opts);
   // The file server (and tty/ps) die mid write stream.
-  machine.CrashClusterAt(machine.engine().Now() + 40'000, 0);
+  machine.CrashClusterAt(machine.Now() + 40'000, 0);
   ASSERT_TRUE(machine.RunUntilAllExited(300'000'000));
   machine.Settle();
   EXPECT_EQ(machine.ExitStatus(pid), 3);

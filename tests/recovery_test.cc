@@ -257,7 +257,7 @@ TEST(Recovery, DeterministicAcrossSeedsAndCrashPoints) {
     opts.with_tty = true;
     opts.backup_cluster = 0;
     Gpid pid = machine.SpawnUserProgram(1, DigitWorker(), opts);
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, 1);
+    machine.CrashClusterAt(machine.Now() + crash_at, 1);
     ASSERT_TRUE(machine.RunUntilAllExited(90'000'000)) << "crash at +" << crash_at;
     machine.Settle();
     EXPECT_EQ(machine.ExitStatus(pid), 7) << "crash at +" << crash_at;

@@ -19,8 +19,8 @@ void Usage() {
                "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
                "                 [--workload W] [--clusters C] [--sync-mode M]\n"
                "                 [--adaptive-sync] [--page-shards P]\n"
-               "                 [--engine-threads T] [--cross-check]\n"
-               "                 [--no-determinism] [--verbose]\n"
+               "                 [--engine-threads T] [--machine-threads T]\n"
+               "                 [--cross-check] [--no-determinism] [--verbose]\n"
                "\n"
                "  --seeds N          run seeds [start, start+N) (default 200)\n"
                "  --workload W       pairs | kv (default pairs); kv runs the\n"
@@ -36,9 +36,13 @@ void Usage() {
                "  --page-shards P    page-server shards (default 1)\n"
                "  --engine-threads T seeds simulated concurrently (default 1);\n"
                "                     results and digests are identical to T=1\n"
-               "  --cross-check      run the campaign sequentially AND at\n"
-               "                     --engine-threads, and require every seed's\n"
-               "                     outcome + trace digest to match exactly\n"
+               "  --machine-threads T shard-worker threads inside each machine\n"
+               "                     run (ShardPlan layout); digests identical\n"
+               "                     to T=1\n"
+               "  --cross-check      run the campaign fully sequentially (both\n"
+               "                     thread knobs forced to 1) AND at the\n"
+               "                     requested thread counts, and require every\n"
+               "                     seed's outcome + trace digest to match\n"
                "  --no-determinism   skip the replay/trace-digest check (3x -> 2x runs)\n"
                "  --verbose          print every scenario, not just failures\n");
 }
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       opt.page_shards = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--engine-threads") {
       opt.engine_threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--machine-threads") {
+      opt.machine_threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--cross-check") {
       cross_check = true;
     } else if (arg == "--no-determinism") {
@@ -161,12 +167,14 @@ int main(int argc, char** argv) {
   };
 
   if (cross_check) {
-    // Mode-equivalence oracle: the same seed range sequentially and at the
-    // requested worker count must produce the same per-seed outcomes and
-    // trace digests, bit for bit.
+    // Mode-equivalence oracle: the same seed range fully sequentially (one
+    // seed at a time, one shard worker per machine) and at the requested
+    // thread counts must produce the same per-seed outcomes and trace
+    // digests, bit for bit.
     std::vector<ScenarioResult> seq, par;
     CampaignOptions seq_opt = opt;
     seq_opt.engine_threads = 1;
+    seq_opt.machine_threads = 1;
     auto seq_summary = auragen::RunCampaign(
         start, seeds, seq_opt, [&](const ScenarioResult& r) { seq.push_back(r); });
     auto par_summary = auragen::RunCampaign(
@@ -182,9 +190,10 @@ int main(int argc, char** argv) {
                     par[i].trace_digest.ToString().c_str());
       }
     }
-    std::printf("faultcamp: %llu scenarios x2 modes (threads 1 vs %u), "
-                "%llu failed, %llu cross-mode mismatches\n",
+    std::printf("faultcamp: %llu scenarios x2 modes (seed-threads 1 vs %u, "
+                "machine-threads 1 vs %u), %llu failed, %llu cross-mode mismatches\n",
                 static_cast<unsigned long long>(par_summary.run), opt.engine_threads,
+                opt.machine_threads,
                 static_cast<unsigned long long>(par_summary.failed),
                 static_cast<unsigned long long>(mismatches));
     return (seq_summary.failed == 0 && par_summary.failed == 0 && mismatches == 0) ? 0 : 1;

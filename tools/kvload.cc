@@ -30,6 +30,8 @@ void Usage() {
       "  --partitions P      KV partitions (default 8)\n"
       "  --requests R        requests per session (default 16)\n"
       "  --clusters C        clusters (default 8)\n"
+      "  --engine-threads T  shard-worker threads (ShardPlan layout); the\n"
+      "                      trace digest is identical at any T (default 1)\n"
       "  --replicas 1|2      1: message-system FT; 2: app-level P/B (default 1)\n"
       "  --strategy S        msgsys | none (default msgsys)\n"
       "  --sync-mode M       stop-and-copy | incremental | incremental-async\n"
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
 
   KvOptions kv;
   uint32_t clusters = 8;
+  uint32_t engine_threads = 1;
   FtStrategy strategy = FtStrategy::kMessageSystem;
   SyncPolicy sync_policy;
   SimTime crash_at = 0;
@@ -88,6 +91,8 @@ int main(int argc, char** argv) {
       kv.requests_per_session = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--clusters") {
       clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--engine-threads") {
+      engine_threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--replicas") {
       kv.replicas = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--strategy") {
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
   options.config.sync_policy = sync_policy;
   if (sync_reads_limit != 0) options.config.sync_reads_limit = sync_reads_limit;
   options.seed = kv.seed;
+  options.engine_threads = engine_threads;
   options.trace.enabled = true;
   options.trace.unbounded = true;
   // Only the SLO marks and the crash-recovery envelope: full delivery
@@ -188,7 +194,7 @@ int main(int argc, char** argv) {
   if (crash_at != 0) {
     std::printf("will crash cluster %u at +%llu us\n", crash_cluster,
                 static_cast<unsigned long long>(crash_at));
-    machine.CrashClusterAt(machine.engine().Now() + crash_at, crash_cluster);
+    machine.CrashClusterAt(machine.Now() + crash_at, crash_cluster);
   }
 
   const bool done = machine.RunUntil(

@@ -134,7 +134,7 @@ out: .byte 0
   machine.SpawnUserProgram(0, ping, a);
   machine.SpawnUserProgram(2, pong, b);
   if (crash) {
-    machine.CrashClusterAt(machine.engine().Now() + 1'000, 2);
+    machine.CrashClusterAt(machine.Now() + 1'000, 2);
   }
   if (!machine.RunUntilAllExited(300'000'000)) {
     std::fprintf(stderr, "tracedump: scenario did not finish\n");
