@@ -18,6 +18,12 @@ namespace auragen {
 using ClusterId = uint32_t;
 inline constexpr ClusterId kNoCluster = 0xffffffffu;
 
+// Index of a fabric segment: one paper-faithful dual bus bridged to the
+// others by store-and-forward switch nodes (src/bus/topology.h). Dense,
+// 0-based, in cluster order.
+using SegmentId = uint32_t;
+inline constexpr SegmentId kNoSegment = 0xffffffffu;
+
 // Simulated time in microseconds since machine power-on.
 using SimTime = uint64_t;
 inline constexpr SimTime kSimForever = ~SimTime{0};

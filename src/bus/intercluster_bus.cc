@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/bus/switch_node.h"
 #include "src/sim/sharded_engine.h"
 
 namespace auragen {
@@ -13,25 +14,38 @@ namespace {
 // cluster c lives on shard 1 + c.
 ShardId ShardOfCluster(ClusterId c) { return 1 + c; }
 
-}  // namespace
-
-InterclusterBus::InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters)
-    : engine_(&engine),
-      config_(config),
-      endpoints_(num_clusters, nullptr),
-      deliveries_(num_clusters, 0) {
-  AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= 32)
-      << "Auragen 4000 is 2..32 clusters, got" << num_clusters;
+// A default (empty) binding mask means every cluster is a local member.
+ClusterMask ResolveLocal(const BusBinding& binding, uint32_t num_clusters) {
+  return binding.local.any() ? binding.local : MaskOfRange(0, num_clusters);
 }
 
-InterclusterBus::InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters)
-    : engine_(&engine.shard_core(kSharedShard)),
+}  // namespace
+
+InterclusterBus::InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters,
+                                 BusBinding binding)
+    : engine_(&engine),
+      config_(config),
+      binding_(binding),
+      local_mask_(ResolveLocal(binding, num_clusters)),
+      endpoints_(num_clusters, nullptr),
+      next_frame_id_(binding.frame_id_base),
+      deliveries_(num_clusters, 0) {
+  AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= kMaxClusters)
+      << "the fabric carries 2..256 clusters, got" << num_clusters;
+}
+
+InterclusterBus::InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters,
+                                 BusBinding binding)
+    : engine_(&engine.shard_core(binding.home_shard)),
       sharded_(&engine),
       config_(config),
+      binding_(binding),
+      local_mask_(ResolveLocal(binding, num_clusters)),
       endpoints_(num_clusters, nullptr),
+      next_frame_id_(binding.frame_id_base),
       deliveries_(num_clusters, 0) {
-  AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= 32)
-      << "Auragen 4000 is 2..32 clusters, got" << num_clusters;
+  AURAGEN_CHECK(num_clusters >= 2 && num_clusters <= kMaxClusters)
+      << "the fabric carries 2..256 clusters, got" << num_clusters;
   AURAGEN_CHECK(engine.num_shards() >= 1 + num_clusters)
       << "ShardPlan layout needs a shard per cluster plus the shared shard";
   AURAGEN_CHECK(config_.arbitration_us >= engine.lookahead())
@@ -84,11 +98,12 @@ void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload
   frame.payload = MakePayload(std::move(payload));
   if (sharded_ != nullptr) {
     // §5.1 minimum propagation latency, sender to arbitration: the request
-    // reaches the bus (shard 0) arbitration_us after the sender issued it —
-    // which is what licenses the cross-shard post under the lookahead
-    // contract. Frame ids are assigned at accept on shard 0, where barrier
-    // drain order makes them a pure function of the per-shard schedules.
-    sharded_->ScheduleOn(kSharedShard, config_.arbitration_us,
+    // reaches the bus (its home shard) arbitration_us after the sender
+    // issued it — which is what licenses the cross-shard post under the
+    // lookahead contract. Frame ids are assigned at accept on the home
+    // shard, where barrier drain order makes them a pure function of the
+    // per-shard schedules.
+    sharded_->ScheduleOn(binding_.home_shard, config_.arbitration_us,
                          [this, frame = std::move(frame), urgent]() mutable {
                            AcceptFrame(std::move(frame), urgent);
                          });
@@ -97,8 +112,13 @@ void InterclusterBus::Transmit(ClusterId src, ClusterMask targets, Bytes payload
   AcceptFrame(std::move(frame), urgent);
 }
 
+void InterclusterBus::ForwardAccept(Frame frame, bool urgent) {
+  AcceptFrame(std::move(frame), urgent);
+}
+
 void InterclusterBus::AcceptFrame(Frame frame, bool urgent) {
-  frame.frame_id = next_frame_id_++;
+  frame.frame_id = next_frame_id_;
+  next_frame_id_ += binding_.frame_id_stride;
   frame.sent_at = LocalNow();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kBusTx, frame.src, 0, 0, frame.frame_id,
@@ -161,7 +181,19 @@ void InterclusterBus::OnTransmitComplete() {
   }
   ++stats_.frames_sent;
   stats_.bytes_sent += fl.frame.payload_size();
-  Deliver(fl.frame);
+  const ClusterMask remote = fl.frame.targets & ~local_mask_;
+  if (switch_ != nullptr && remote.any()) {
+    // Multi-segment multicast: no destination — not even a local member —
+    // is delivered from this transmission. The whole frame goes to the
+    // fabric's trunk sequencer, which re-injects one copy per *target*
+    // segment (the origin segment included), so every delivery of a
+    // cross-segment frame is ordered by its destination segment's bus in
+    // trunk order. That is what keeps §5.1's consistent total order when a
+    // primary and its backup sit in different segments (fabric.h).
+    switch_->ForwardFromBus(fl.frame, fl.urgent);
+  } else {
+    Deliver(fl.frame);
+  }
   StartNext();
 }
 
@@ -171,7 +203,7 @@ void InterclusterBus::Deliver(const Frame& frame) {
     // Spread this frame's per-destination deliveries over time so another
     // frame can land in between — precisely what §5.1 forbids.
     for (ClusterId c = 0; c < endpoints_.size(); ++c) {
-      if (!MaskHas(frame.targets, c)) {
+      if (!MaskHas(frame.targets, c) || !MaskHas(local_mask_, c)) {
         continue;
       }
       SimTime jitter = violation_rng_.Range(0, 3 * config_.arbitration_us + 5);
@@ -183,7 +215,7 @@ void InterclusterBus::Deliver(const Frame& frame) {
   }
 
   for (ClusterId c = 0; c < endpoints_.size(); ++c) {
-    if (!MaskHas(frame.targets, c)) {
+    if (!MaskHas(frame.targets, c) || !MaskHas(local_mask_, c)) {
       continue;
     }
     if (violation_ == AtomicityViolation::kDropPerDestination &&

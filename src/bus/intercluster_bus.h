@@ -33,6 +33,7 @@
 namespace auragen {
 
 class ShardedEngine;
+class SwitchNode;
 
 // A cluster's receive side. The executive processor implements this.
 class BusEndpoint {
@@ -67,6 +68,24 @@ struct BusStats {
                                   // bus-utilization numbers)
 };
 
+// How a bus instance sits inside a segmented fabric (src/bus/fabric.h). The
+// default binding is the pre-fabric machine: segment 0, arbitration on the
+// shared shard, every cluster a local member, frame ids 1, 2, 3, ...
+struct BusBinding {
+  SegmentId segment = 0;
+  // Engine shard hosting this bus's arbitration and line state (sharded
+  // mode only). Segment 0 keeps the historical shard-0 home.
+  uint32_t home_shard = 0;
+  // Local members: only these clusters are delivered to directly; targets
+  // outside the mask leave through the segment's switch. A default (empty)
+  // mask means "every cluster is local" (single-bus machine).
+  ClusterMask local;
+  // Frame-id sequence (base + k*stride): segments interleave their id
+  // spaces so every frame id is fabric-unique in traces.
+  uint64_t frame_id_base = 1;
+  uint64_t frame_id_stride = 1;
+};
+
 // Modes for deliberately violating §5.1 guarantees in negative tests.
 enum class AtomicityViolation : uint8_t {
   kNone,
@@ -80,15 +99,18 @@ enum class AtomicityViolation : uint8_t {
 
 class InterclusterBus {
  public:
-  InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters);
+  InterclusterBus(Engine& engine, BusConfig config, uint32_t num_clusters,
+                  BusBinding binding = BusBinding{});
 
-  // Sharded-machine mode (ShardPlan layout: shard 0 = this bus + disks,
-  // shard 1+c = cluster c). Arbitration and line state live on shard 0;
-  // Transmit posts the frame to shard 0 and delivery posts per-destination
-  // closures to the receiving cluster's shard, each hop carrying the §5.1
-  // minimum propagation latency (arbitration_us >= the engine's lookahead),
-  // which is exactly the conservative contract ShardedEngine checks.
-  InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters);
+  // Sharded-machine mode (ShardPlan layout: shard 0 = shared bus + disks,
+  // shard 1+c = cluster c, extra segments' buses on their own shards).
+  // Arbitration and line state live on the binding's home shard; Transmit
+  // posts the frame there and delivery posts per-destination closures to the
+  // receiving cluster's shard, each hop carrying the §5.1 minimum
+  // propagation latency (arbitration_us >= the engine's lookahead), which is
+  // exactly the conservative contract ShardedEngine checks.
+  InterclusterBus(ShardedEngine& engine, BusConfig config, uint32_t num_clusters,
+                  BusBinding binding = BusBinding{});
 
   // Registers the receive callback for a cluster. Must be called for every
   // cluster before traffic starts.
@@ -110,6 +132,20 @@ class InterclusterBus {
   // stay FIFO among themselves; the relative order of regular frames is
   // untouched, so guarantee 2 still holds where it matters.
   void Transmit(ClusterId src, ClusterMask targets, Bytes payload, bool urgent = false);
+
+  // --- fabric integration (segmented machine only) ---
+  // Registers the segment's switch. A frame whose targets leave the local
+  // member set is handed to the switch at transmission-complete time instead
+  // of being delivered; the fabric's trunk sequencer then re-injects a copy
+  // per target segment (see fabric.h for the ordering argument).
+  void set_switch(SwitchNode* sw) { switch_ = sw; }
+  // Re-injection entry used by the segment's switch: the (already
+  // segment-masked) copy re-enters arbitration as a fresh local frame, so
+  // every delivery in this segment — local or forwarded — is totally ordered
+  // by this bus. Must run on the binding's home shard.
+  void ForwardAccept(Frame frame, bool urgent);
+  SegmentId segment() const { return binding_.segment; }
+  const ClusterMask& local_mask() const { return local_mask_; }
 
   // --- fault injection ---
   // Failing the line currently carrying a frame aborts that transmission:
@@ -156,9 +192,12 @@ class InterclusterBus {
   void DeliverLocal(const Frame& frame, ClusterId c);
   SimTime LocalNow() const;
 
-  Engine* engine_;                     // shard-0 core in sharded mode
+  Engine* engine_;                     // home-shard core in sharded mode
   ShardedEngine* sharded_ = nullptr;   // null in single-engine mode
   BusConfig config_;
+  BusBinding binding_;
+  ClusterMask local_mask_;             // resolved: binding.local or "all"
+  SwitchNode* switch_ = nullptr;       // null on a single-segment machine
   std::vector<BusEndpoint*> endpoints_;
   std::deque<Frame> pending_;
   std::deque<Frame> urgent_pending_;  // heartbeat lane, wins arbitration

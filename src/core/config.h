@@ -10,7 +10,7 @@
 #include <string>
 
 #include "src/base/types.h"
-#include "src/bus/intercluster_bus.h"
+#include "src/bus/topology.h"
 
 namespace auragen {
 
@@ -148,6 +148,18 @@ struct SystemConfig {
   SimTime crash_scan_per_entry_us = 1;   // routing-table patch cost per entry
 
   BusConfig bus;
+
+  // Intercluster fabric layout (src/bus/topology.h). Empty (the default)
+  // means the pre-fabric machine: one segment over `num_clusters` clusters
+  // using `bus` — see resolved_topology(). When set, it is the single source
+  // of truth for the cluster count; Machine::Boot() CHECKs that
+  // `num_clusters` agrees (MachineOptions::WithTopology keeps them in sync).
+  Topology topology;
+
+  // The topology every component actually runs on.
+  Topology resolved_topology() const {
+    return topology.empty() ? Topology::SingleSegment(num_clusters, bus) : topology;
+  }
 
   // Default backup mode for user processes (§7.3: "The default mode, at
   // least for the first implementation, will be quarterback").

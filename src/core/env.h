@@ -16,7 +16,7 @@
 #include "src/base/codec.h"
 #include "src/base/result.h"
 #include "src/base/types.h"
-#include "src/bus/intercluster_bus.h"
+#include "src/bus/fabric.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
 #include "src/sim/engine.h"
@@ -30,7 +30,10 @@ class MachineEnv {
   virtual ~MachineEnv() = default;
 
   virtual Engine& engine() = 0;
-  virtual InterclusterBus& bus() = 0;
+  // The intercluster fabric, behind the historical bus surface (Transmit /
+  // Attach / Detach). Kernels address clusters, not segments: routing across
+  // segments is the fabric's business.
+  virtual Fabric& bus() = 0;
   virtual const SystemConfig& config() const = 0;
   virtual Metrics& metrics() = 0;
 

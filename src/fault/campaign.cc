@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/avm/assembler.h"
+#include "src/base/log.h"
 #include "src/base/rng.h"
 #include "src/machine/machine.h"
 #include "src/workload/kv_service.h"
@@ -46,9 +47,29 @@ FaultPlan MakeScenarioPlan(uint64_t seed, const CampaignOptions& options) {
   CampaignWorkload wl = MakeCampaignWorkload(seed, options.num_clusters);
   FaultPlanInputs inputs;
   inputs.num_clusters = options.num_clusters;
+  inputs.num_segments = options.num_segments;
   inputs.procs = wl.Placements();
   return MakeFaultPlan(seed, inputs);
 }
+
+namespace {
+
+// Routes the campaign's fabric shape into the machine configuration. With
+// one segment this is a no-op: config.topology stays empty and the machine
+// is the pre-fabric single-bus build, bit for bit.
+void ApplyFabric(MachineOptions& mo, const CampaignOptions& opt) {
+  if (opt.num_segments <= 1) {
+    return;
+  }
+  AURAGEN_CHECK(opt.num_clusters % opt.num_segments == 0)
+      << "campaign fabric: " << opt.num_clusters << " clusters do not divide into "
+      << opt.num_segments << " equal segments";
+  mo.config.topology =
+      Topology::Uniform(opt.num_segments, opt.num_clusters / opt.num_segments, mo.config.bus)
+          .WithSwitchLatency(opt.switch_latency_us);
+}
+
+}  // namespace
 
 namespace {
 
@@ -148,6 +169,7 @@ RunOutcome RunWorkload(const CampaignWorkload& wl, uint64_t seed, BackupMode mod
                        const FaultPlan* plan, const CampaignOptions& opt) {
   MachineOptions mo;
   mo.config.num_clusters = opt.num_clusters;
+  ApplyFabric(mo, opt);
   mo.config.sync_reads_limit = 4;  // tight sync cadence: more recovery points
   mo.config.sync_policy = opt.sync_policy;
   mo.config.page_shards = opt.page_shards;
@@ -302,6 +324,7 @@ KvRunOutcome RunKvWorkload(const workload::KvOptions& kv, uint64_t seed,
                            const CampaignOptions& opt) {
   MachineOptions mo;
   mo.config.num_clusters = opt.num_clusters;
+  ApplyFabric(mo, opt);
   mo.config.sync_reads_limit = 8;  // tight cadence: more recovery points
   mo.config.sync_policy = opt.sync_policy;
   mo.config.page_shards = opt.page_shards;

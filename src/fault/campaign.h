@@ -38,6 +38,12 @@ namespace auragen {
 
 struct CampaignOptions {
   uint32_t num_clusters = 4;
+  // Fabric segments (Topology::Uniform over num_clusters, which must divide
+  // evenly). 1 = the pre-fabric single-bus machine, bit-identical to older
+  // campaigns; >1 runs every scenario on the segmented fabric and arms the
+  // kSegmentPartition scenario.
+  uint32_t num_segments = 1;
+  SimTime switch_latency_us = 4;
   SimTime run_cap_us = 600'000'000;
   // Dispatched-event ceiling per run; generous (normal runs are a few
   // hundred thousand events) so only a genuine livelock trips it.

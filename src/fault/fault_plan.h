@@ -38,6 +38,9 @@ enum class FaultKind : uint8_t {
   kFailBusLine = 3,    // one line of the dual bus dies (§7.1); `cluster`
                        // carries the line number (0 or 1)
   kRestoreBusLine = 4, // the line returns to service
+  kFailSwitch = 5,     // a fabric segment's switch node dies; `cluster`
+                       // carries the segment id (multi-segment topologies)
+  kRestoreSwitch = 6,  // the switch returns; held frames drain FIFO
 };
 const char* FaultKindName(FaultKind kind);
 
@@ -56,6 +59,13 @@ enum class ScenarioKind : uint8_t {
   kBusDualLineOutage,       // both bus lines die back-to-back, then come
                             // back; queued traffic (heartbeats first) must
                             // drain without any peer declaring a false crash
+  kSegmentPartition,        // a fabric segment's switch dies and returns
+                            // inside the heartbeat timeout: the segment is
+                            // isolated, cross-segment frames hold at the
+                            // switch and trunk, and on restore they drain
+                            // FIFO — no acked write lost, no false crash
+                            // declared, remote primaries re-reached.
+                            // Degrades to kSingleCrash on one segment.
   kNumScenarioKinds,
 };
 const char* ScenarioKindName(ScenarioKind kind);
@@ -75,6 +85,9 @@ struct ProcPlacement {
 
 struct FaultPlanInputs {
   uint32_t num_clusters = 4;
+  // Fabric segments (Topology::num_segments()). 1 = the pre-fabric machine:
+  // switch scenarios degrade and plans are unchanged bit for bit.
+  uint32_t num_segments = 1;
   // Home clusters of the system/peripheral servers; at most one of the two
   // may be dead at any instant.
   ClusterId server_home_a = 0;

@@ -61,6 +61,45 @@ std::string ServerPlacement::Validate(const SystemConfig& config) const {
     }
   }
 
+  // Multi-segment fabric: a primary and its backup must share a segment.
+  // Takeover and re-backup traffic may not depend on a switch surviving the
+  // fault it is recovering from, and a dual-ported disk cannot span
+  // segments at all.
+  const Topology topo = config.resolved_topology();
+  if (ft && topo.num_segments() > 1) {
+    for (const Role& r : roles) {
+      if (topo.segment_of(r.pair->primary) != topo.segment_of(r.pair->backup)) {
+        return PlacementError(
+            r.name, "primary (cluster " + std::to_string(r.pair->primary) +
+                        ") and backup (cluster " + std::to_string(r.pair->backup) +
+                        ") are in different fabric segments");
+      }
+    }
+    const std::pair<const char*, const ClusterPair*> disks[] = {
+        {"file disk", &file_disk}, {"page disk", &page_disk}};
+    for (const auto& [name, ports] : disks) {
+      if (ports->primary < n && ports->backup < n &&
+          topo.segment_of(ports->primary) != topo.segment_of(ports->backup)) {
+        return std::string(name) + ": ports {" + std::to_string(ports->primary) + "," +
+               std::to_string(ports->backup) +
+               "} span fabric segments (a dual-ported disk is cabled inside one segment)";
+      }
+    }
+    // Page shards rotate within segment (s mod S); a base pair that is
+    // congruent modulo some segment's size would fold a shard's primary and
+    // backup onto one cluster there.
+    for (SegmentId s = 0; s < topo.num_segments() && s < config.page_shards; ++s) {
+      const uint32_t size = topo.segment_size(s);
+      if (page.primary % size == page.backup % size ||
+          page_disk.primary % size == page_disk.backup % size) {
+        return PlacementError(
+            "page", "shard rotation folds primary and backup onto one cluster in "
+                    "segment " + std::to_string(s) + " (size " + std::to_string(size) +
+                    "); pick a page/page_disk pair distinct modulo every segment size");
+      }
+    }
+  }
+
   if (ft) {
     // §7.9: a peripheral server and its active backup each need a path to the
     // server's disk, i.e. both must sit on one of the disk's two ports.
@@ -97,6 +136,16 @@ std::string MachineOptions::Validate() const {
   if (std::string err = config.sync_policy.Validate(); !err.empty()) {
     return "sync_policy: " + err;
   }
+  if (!config.topology.empty()) {
+    if (std::string err = config.topology.Validate(); !err.empty()) {
+      return "topology: " + err;
+    }
+    if (config.topology.num_clusters() != config.num_clusters) {
+      return "topology names " + std::to_string(config.topology.num_clusters()) +
+             " clusters but num_clusters is " + std::to_string(config.num_clusters) +
+             " (use MachineOptions::WithTopology, which keeps them in sync)";
+    }
+  }
   return placement.Validate(config);
 }
 
@@ -109,7 +158,7 @@ Engine& ClusterEnv::engine() {
   return machine_.sharded_->shard_core(machine_.plan_.shard_of_cluster(cluster_));
 }
 
-InterclusterBus& ClusterEnv::bus() { return *machine_.bus_; }
+Fabric& ClusterEnv::bus() { return *machine_.bus_; }
 
 const SystemConfig& ClusterEnv::config() const { return machine_.options_.config; }
 
@@ -152,9 +201,16 @@ void ClusterEnv::OnDebugPutc(Gpid pid, char c) { machine_.OnDebugPutc(pid, c); }
 
 Machine::Machine(MachineOptions options)
     : options_(std::move(options)),
+      topology_(options_.config.resolved_topology()),
       plan_(MakeShardPlan(options_.config, options_.disk)),
       rng_(options_.seed) {
   const SystemConfig& cfg = options_.config;
+  // The Topology is the single source of truth for the cluster count; a
+  // disagreeing num_clusters would size kernels and fabric differently.
+  AURAGEN_CHECK(topology_.num_clusters() == cfg.num_clusters)
+      << "topology names " << topology_.num_clusters() << " clusters but "
+      << "SystemConfig::num_clusters is " << cfg.num_clusters
+      << " (use MachineOptions::WithTopology, which keeps them in sync)";
   sharded_ = std::make_unique<ShardedEngine>(plan_.EngineOptions(options_.engine_threads));
   if (options_.trace.enabled) {
     tracer_ = std::make_unique<Tracer>(options_.trace);
@@ -170,7 +226,11 @@ Machine::Machine(MachineOptions options)
     options_.file_server.tracer = tracer_.get();
     options_.page_server.tracer = tracer_.get();
   }
-  bus_ = std::make_unique<InterclusterBus>(*sharded_, cfg.bus, cfg.num_clusters);
+  std::vector<uint32_t> segment_shards(topology_.num_segments());
+  for (SegmentId s = 0; s < segment_shards.size(); ++s) {
+    segment_shards[s] = plan_.shard_of_segment(s);
+  }
+  bus_ = std::make_unique<Fabric>(*sharded_, topology_, std::move(segment_shards));
   bus_->set_tracer(tracer_.get());
   const ServerPlacement& place = options_.placement;
   Engine& shared_core = sharded_->shard_core(kSharedShard);
@@ -178,9 +238,9 @@ Machine::Machine(MachineOptions options)
                                             place.file_disk.primary, place.file_disk.backup);
   const uint32_t shards = std::max<uint32_t>(1, cfg.page_shards);
   for (uint32_t s = 0; s < shards; ++s) {
-    page_disks_.push_back(std::make_unique<MirroredDisk>(
-        shared_core, options_.disk, (place.page_disk.primary + s) % cfg.num_clusters,
-        (place.page_disk.backup + s) % cfg.num_clusters));
+    const ClusterPair ports = PageShardPlace(place.page_disk, s);
+    page_disks_.push_back(
+        std::make_unique<MirroredDisk>(shared_core, options_.disk, ports.primary, ports.backup));
   }
   for (ClusterId c = 0; c < cfg.num_clusters; ++c) {
     envs_.push_back(std::make_unique<ClusterEnv>(*this, c));
@@ -206,21 +266,30 @@ void Machine::Boot() {
   Run(20000);
 }
 
+ClusterPair Machine::PageShardPlace(const ClusterPair& base, uint32_t s) const {
+  const uint32_t num_segments = topology_.num_segments();
+  const SegmentId seg = s % num_segments;
+  const ClusterId first = topology_.segment_base(seg);
+  const uint32_t size = topology_.segment_size(seg);
+  const uint32_t turn = s / num_segments;
+  return ClusterPair{first + (base.primary + turn) % size,
+                     first + (base.backup + turn) % size};
+}
+
 void Machine::SpawnServers() {
   const bool ft = options_.config.strategy == FtStrategy::kMessageSystem;
   const ServerPlacement& place = options_.placement;
-  const uint32_t n = options_.config.num_clusters;
 
   fs_addr_ = ServerAddr{kFsPid, place.file.primary, ft ? place.file.backup : kNoCluster};
   ps_addr_ = ServerAddr{kPsPid, place.process.primary, ft ? place.process.backup : kNoCluster};
   tty_addr_ = ServerAddr{kTtyPid, place.tty.primary, ft ? place.tty.backup : kNoCluster};
   for (uint32_t s = 0; s < page_disks_.size(); ++s) {
     // Shard placement rotates with the shard index (and so do the disks,
-    // built the same way in the constructor), spreading paging load and
-    // keeping §7.9 satisfied per shard.
-    const ClusterId primary = (place.page.primary + s) % n;
-    const ClusterId backup = (place.page.backup + s) % n;
-    page_addrs_.push_back(ServerAddr{PageShardPid(s), primary, ft ? backup : kNoCluster});
+    // built the same way in the constructor), spreading paging load across
+    // segments and clusters while keeping §7.9 satisfied per shard.
+    const ClusterPair pair = PageShardPlace(place.page, s);
+    page_addrs_.push_back(
+        ServerAddr{PageShardPid(s), pair.primary, ft ? pair.backup : kNoCluster});
   }
 
   server_disks_[kFsPid.value] = fs_disk_.get();
@@ -259,7 +328,7 @@ void Machine::SpawnServers() {
 
   for (uint32_t s = 0; s < page_addrs_.size(); ++s) {
     spawn_peripheral(PageShardPid(s), page_addrs_[s].primary,
-                     (place.page.backup + s) % n,
+                     PageShardPlace(place.page, s).backup,
                      [&] { return std::make_unique<PageServerProgram>(options_.page_server); });
   }
   spawn_peripheral(kFsPid, place.file.primary, place.file.backup, [&] {
@@ -463,7 +532,10 @@ SimTime Machine::LocalNow() const {
 
 void Machine::DiskReadFrom(ClusterId from, Gpid server, BlockNum block,
                            std::function<void(Result<Bytes>)> done) {
-  const SimTime hop = options_.config.bus.arbitration_us;
+  // max() never binds on the pre-fabric machine (lookahead <= arbitration by
+  // construction); it keeps the hop legal when a custom topology's segment
+  // buses are all slower than the SystemConfig-level `bus`.
+  const SimTime hop = std::max(options_.config.bus.arbitration_us, plan_.lookahead_us);
   const ShardId home = plan_.shard_of_cluster(from);
   sharded_->ScheduleOn(
       kSharedShard, hop,
@@ -484,7 +556,7 @@ void Machine::DiskReadFrom(ClusterId from, Gpid server, BlockNum block,
 
 void Machine::DiskWriteFrom(ClusterId from, Gpid server, BlockNum block, Bytes data,
                             std::function<void(Result<void>)> done) {
-  const SimTime hop = options_.config.bus.arbitration_us;
+  const SimTime hop = std::max(options_.config.bus.arbitration_us, plan_.lookahead_us);
   const ShardId home = plan_.shard_of_cluster(from);
   sharded_->ScheduleOn(
       kSharedShard, hop,

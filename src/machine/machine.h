@@ -1,5 +1,6 @@
 // Machine: the whole simulated Auragen 4000 — clusters with kernels, the
-// dual intercluster bus, dual-ported mirrored disks, and the operating-
+// segmented intercluster fabric (per-segment dual buses bridged by switch
+// nodes; src/bus/fabric.h), dual-ported mirrored disks, and the operating-
 // system server processes (§7.1, §7.6). This is the public entry point of
 // the library: construct one, Boot() it, spawn guest programs, drive the
 // simulation, crash clusters, and observe transcripts and metrics.
@@ -43,15 +44,22 @@ struct ServerPlacement {
   ClusterPair process{0, 1};
   ClusterPair tty{0, 1};
   // Page-server shard 0. With SystemConfig::page_shards > 1, shard s is
-  // placed at ((page.* + s) mod num_clusters) — and so are its disk ports,
-  // which keeps §7.9 holding for every shard whenever it holds for shard 0.
+  // placed by rotating these pairs across the topology: on a single segment
+  // shard s lands at ((page.* + s) mod num_clusters); on a multi-segment
+  // fabric shard s lands in segment (s mod num_segments), rotated within
+  // that segment (Machine::PageShardPlace). The disk ports rotate the same
+  // way, which keeps §7.9 holding for every shard whenever it holds for
+  // shard 0.
   ClusterPair page{1, 0};
   ClusterPair file_disk{0, 1};  // dual-port attachment of the file-system disk
   ClusterPair page_disk{1, 0};  // dual-port attachment of the paging disk(s)
 
   // "" when valid; otherwise an actionable diagnostic naming the offending
   // role. Backup and disk-port constraints are enforced only under the
-  // message-system strategy — without it, backups are never spawned.
+  // message-system strategy — without it, backups are never spawned. On a
+  // multi-segment topology a primary and its backup (and a disk's two
+  // ports) must additionally share a segment: recovery traffic must not
+  // depend on a switch surviving the fault it is recovering from.
   std::string Validate(const SystemConfig& config) const;
 };
 
@@ -84,7 +92,23 @@ struct MachineOptions {
   // working; these just let call sites chain the common knobs:
   //   MachineOptions().WithClusters(4).WithSyncMode(SyncMode::kIncrementalAsync)
   MachineOptions& WithSeed(uint64_t s) { seed = s; return *this; }
-  MachineOptions& WithClusters(uint32_t n) { config.num_clusters = n; return *this; }
+  // Deprecated single-segment shim: `WithClusters(n)` configures the
+  // pre-fabric machine — one segment, n clusters on one dual bus — and
+  // clears any topology set earlier so the two stay consistent. New call
+  // sites should describe the fabric with WithTopology.
+  MachineOptions& WithClusters(uint32_t n) {
+    config.num_clusters = n;
+    config.topology = Topology{};
+    return *this;
+  }
+  // Sets the fabric topology and keeps config.num_clusters — which Boot()
+  // CHECKs against it — in sync. The Topology is the single source of truth
+  // for the cluster count.
+  MachineOptions& WithTopology(const Topology& t) {
+    config.topology = t;
+    config.num_clusters = t.num_clusters();
+    return *this;
+  }
   MachineOptions& WithStrategy(FtStrategy s) { config.strategy = s; return *this; }
   MachineOptions& WithSyncPolicy(const SyncPolicy& p) { config.sync_policy = p; return *this; }
   MachineOptions& WithSyncMode(SyncMode m) { config.sync_policy.mode = m; return *this; }
@@ -124,7 +148,7 @@ class ClusterEnv : public MachineEnv {
   ClusterEnv(Machine& machine, ClusterId cluster);
 
   Engine& engine() override;
-  InterclusterBus& bus() override;
+  Fabric& bus() override;
   const SystemConfig& config() const override;
   Metrics& metrics() override { return metrics_; }
   void DiskRead(Gpid server, BlockNum block,
@@ -205,10 +229,17 @@ class Machine {
   // --- fault injection ---
   void CrashCluster(ClusterId cluster);
   void CrashClusterAt(SimTime when, ClusterId cluster);
-  // Bus line faults (dual-line outage scenarios). Safe outside a run or
-  // from a control event.
+  // Bus line faults (dual-line outage scenarios). Applied to every segment
+  // at once (Fabric::FailLine). Safe outside a run or from a control event.
   void FailBusLine(int line);
   void RestoreBusLine(int line);
+  // Switch faults (multi-segment topologies): failing segment `s`'s switch
+  // isolates it from the rest of the fabric — cross-segment frames hold at
+  // the switch and the trunk, FIFO, and drain on restore; nothing is
+  // dropped. Safe outside a run or from a control event.
+  void FailSwitch(SegmentId segment) { bus_->FailSwitch(segment); }
+  void RestoreSwitch(SegmentId segment) { bus_->RestoreSwitch(segment); }
+  bool SwitchOk(SegmentId segment) const { return bus_->SwitchOk(segment); }
   // Returns a restored cluster to service. Peripheral servers whose backups
   // died with it re-create them there (§7.3 halfback return-to-service).
   void RestoreCluster(ClusterId cluster);
@@ -246,7 +277,10 @@ class Machine {
   MirroredDisk& page_disk(uint32_t shard = 0) { return *page_disks_[shard]; }
   // Null unless MachineOptions::trace.enabled was set.
   Tracer* tracer() { return tracer_.get(); }
-  InterclusterBus& bus() { return *bus_; }
+  Fabric& bus() { return *bus_; }
+  // The resolved fabric layout this machine runs on (single-segment when
+  // MachineOptions left SystemConfig::topology empty).
+  const Topology& topology() const { return topology_; }
   const SystemConfig& config() const { return options_.config; }
   Rng& rng() { return rng_; }
 
@@ -261,6 +295,12 @@ class Machine {
 
  private:
   friend class ClusterEnv;
+
+  // Placement of page-server shard s (and, with `backup` pairs swapped in,
+  // of its disk ports): segment (s mod S), base pair rotated within the
+  // segment by floor(s / S). Reduces to ((pair + s) mod num_clusters) on a
+  // single segment — the pre-fabric rotation, bit for bit.
+  ClusterPair PageShardPlace(const ClusterPair& base, uint32_t s) const;
 
   void SpawnServers();
   bool AllUsersExited() const;
@@ -289,11 +329,12 @@ class Machine {
   void OnDebugPutc(Gpid pid, char c);
 
   MachineOptions options_;
+  Topology topology_;  // resolved: never empty
   ShardPlan plan_;
   std::unique_ptr<ShardedEngine> sharded_;
   Rng rng_;
   std::unique_ptr<Tracer> tracer_;
-  std::unique_ptr<InterclusterBus> bus_;
+  std::unique_ptr<Fabric> bus_;
   std::unique_ptr<MirroredDisk> fs_disk_;
   std::vector<std::unique_ptr<MirroredDisk>> page_disks_;  // one per shard
   std::vector<std::unique_ptr<ClusterEnv>> envs_;          // one per cluster

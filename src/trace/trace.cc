@@ -81,6 +81,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kSyncFlushAck: return "sync-flush-ack";
     case TraceEventKind::kSyncAdaptive: return "sync-adaptive";
     case TraceEventKind::kRequestMark: return "request-mark";
+    case TraceEventKind::kSwitchFwd: return "switch-fwd";
+    case TraceEventKind::kSwitchHeld: return "switch-held";
     case TraceEventKind::kEngineDispatch: return "engine-dispatch";
     case TraceEventKind::kMaxKind: break;
   }

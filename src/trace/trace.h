@@ -94,6 +94,14 @@ enum class TraceEventKind : uint8_t {
                          // 2 = reply received, 3 = retry/switchover),
                          // b = request tag (op << 24 | request index)
 
+  // Segmented fabric (src/bus/fabric.h): trunk sequencing of cross-segment
+  // multicasts and switch partitions.
+  kSwitchFwd = 58,   // trunk re-injected a copy; cluster = frame src,
+                     // channel = destination segment, a = origin frame id,
+                     // b = trunk sequence number
+  kSwitchHeld = 59,  // a failed switch held a frame; channel = segment,
+                     // a = origin frame id, b = 0 egress / 1 trunk inbound
+
   // Simulation engine (very high volume; masked out by default).
   kEngineDispatch = 60,  // a = event id
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/bus/intercluster_bus.h"
+#include "src/bus/topology.h"
 #include "src/sim/engine.h"
 #include "src/sim/sharded_engine.h"
 
@@ -323,8 +324,18 @@ TEST(Bus, FailoverWaitAccountedSeparatelyFromBusyTime) {
 
 TEST(Bus, RejectsBadClusterCounts) {
   Engine engine;
-  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 1), "2..32");
-  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 33), "2..32");
+  // The raw bus now carries up to kMaxClusters (a fabric segment bus is the
+  // one that holds the paper's 2..32 bound — Topology::Validate enforces it).
+  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 1), "2..256");
+  EXPECT_DEATH(InterclusterBus(engine, BusConfig{}, 257), "2..256");
+  InterclusterBus legal(engine, BusConfig{}, 33);  // no longer fatal
+  EXPECT_EQ(legal.num_clusters(), 33u);
+}
+
+TEST(Bus, TopologyEnforcesPaperSegmentBound) {
+  EXPECT_NE(Topology().WithSegment(33).Validate(), "");
+  EXPECT_NE(Topology().WithSegment(1).Validate(), "");
+  EXPECT_EQ(Topology().WithSegment(32).Validate(), "");
 }
 
 }  // namespace

@@ -17,7 +17,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: faultcamp [--seeds N] [--start S] [--seed X] [--plan]\n"
-               "                 [--workload W] [--clusters C] [--sync-mode M]\n"
+               "                 [--workload W] [--clusters C] [--segments S]\n"
+               "                 [--switch-latency-us L] [--sync-mode M]\n"
                "                 [--adaptive-sync] [--page-shards P]\n"
                "                 [--engine-threads T] [--machine-threads T]\n"
                "                 [--cross-check] [--no-determinism] [--verbose]\n"
@@ -30,6 +31,10 @@ void Usage() {
                "  --seed X           run exactly one seed, verbosely\n"
                "  --plan             with --seed: print the fault plan and exit\n"
                "  --clusters C       clusters per machine (default 4)\n"
+               "  --segments S       fabric segments (default 1 = single bus);\n"
+               "                     C must divide into S equal segments; >1 arms\n"
+               "                     the segment-partition scenario\n"
+               "  --switch-latency-us L  store-and-forward switch hop (default 4)\n"
                "  --sync-mode M      stop-and-copy | incremental | incremental-async\n"
                "                     (default incremental)\n"
                "  --adaptive-sync    adapt the time-based sync trigger to dirty rate\n"
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--clusters") {
       opt.num_clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--segments") {
+      opt.num_segments = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--switch-latency-us") {
+      opt.switch_latency_us = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--sync-mode") {
       std::string mode = next();
       if (mode == "stop-and-copy") {
@@ -128,6 +137,13 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  if (opt.num_segments < 1 ||
+      (opt.num_segments > 1 && opt.num_clusters % opt.num_segments != 0)) {
+    std::fprintf(stderr, "faultcamp: --clusters %u does not divide into --segments %u\n",
+                 opt.num_clusters, opt.num_segments);
+    return 2;
   }
 
   if (single) {

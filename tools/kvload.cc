@@ -30,6 +30,9 @@ void Usage() {
       "  --partitions P      KV partitions (default 8)\n"
       "  --requests R        requests per session (default 16)\n"
       "  --clusters C        clusters (default 8)\n"
+      "  --segments S        fabric segments (default 1 = single bus); C must\n"
+      "                      divide into S equal segments\n"
+      "  --switch-latency-us L  store-and-forward switch hop (default 4)\n"
       "  --engine-threads T  shard-worker threads (ShardPlan layout); the\n"
       "                      trace digest is identical at any T (default 1)\n"
       "  --replicas 1|2      1: message-system FT; 2: app-level P/B (default 1)\n"
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
 
   KvOptions kv;
   uint32_t clusters = 8;
+  uint32_t segments = 1;
+  SimTime switch_latency_us = 4;
   uint32_t engine_threads = 1;
   FtStrategy strategy = FtStrategy::kMessageSystem;
   SyncPolicy sync_policy;
@@ -91,6 +96,10 @@ int main(int argc, char** argv) {
       kv.requests_per_session = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--clusters") {
       clusters = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--segments") {
+      segments = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--switch-latency-us") {
+      switch_latency_us = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--engine-threads") {
       engine_threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--replicas") {
@@ -172,6 +181,15 @@ int main(int argc, char** argv) {
 
   MachineOptions options;
   options.config.num_clusters = clusters;
+  if (segments > 1) {
+    if (clusters % segments != 0) {
+      std::fprintf(stderr, "kvload: --clusters %u does not divide into --segments %u\n",
+                   clusters, segments);
+      return 2;
+    }
+    options.WithTopology(Topology::Uniform(segments, clusters / segments)
+                             .WithSwitchLatency(switch_latency_us));
+  }
   options.config.strategy = strategy;
   options.config.sync_policy = sync_policy;
   if (sync_reads_limit != 0) options.config.sync_reads_limit = sync_reads_limit;
@@ -203,9 +221,9 @@ int main(int argc, char** argv) {
 
   SloReport report = BuildSloReport(machine.tracer()->Events(), machine, d, done);
   std::printf("kvload: %u sessions x %u requests, %u partitions, %u replicas, "
-              "%u clusters, strategy=%s, sync=%s%s, seed=%llu\n",
+              "%u clusters/%u segments, strategy=%s, sync=%s%s, seed=%llu\n",
               kv.sessions, kv.requests_per_session, kv.partitions, kv.replicas,
-              clusters, FtStrategyName(strategy),
+              clusters, segments, FtStrategyName(strategy),
               SyncModeName(sync_policy.mode), sync_policy.adaptive ? "+adaptive" : "",
               static_cast<unsigned long long>(kv.seed));
   std::printf("%s", report.ToString().c_str());
