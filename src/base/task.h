@@ -1,17 +1,19 @@
-// Task: a move-only `void()` callable with a large inline buffer.
+// MoveFn: a move-only callable with a large inline buffer; Task is the
+// nullary `void()` alias the engine schedules.
 //
 // The discrete-event engine schedules hundreds of thousands of closures per
 // simulated second. std::function's small-object buffer (16 bytes on
 // libstdc++) is too small for the hot closures — `this` plus a Frame or a
 // decoded message view — so every Schedule() call heap-allocated, and every
 // dispatch *copied* the closure (std::function is copyable, so pulling the
-// event out of the queue duplicated it). Task sizes its inline buffer for
+// event out of the queue duplicated it). MoveFn sizes its inline buffer for
 // the delivery-path closures and is move-only, so scheduling a hot event
-// touches the allocator zero times.
+// touches the allocator zero times. The disk completion callbacks use the
+// typed forms (`MoveFn<void(Result<void>)>` etc.) for the same reason.
 //
 // Semantics: construct from any callable, invoke once or many times via
-// operator(), move freely. A moved-from Task is empty; invoking an empty
-// Task is checked.
+// operator(), move freely. A moved-from MoveFn is empty; invoking an empty
+// MoveFn is checked.
 
 #ifndef AURAGEN_SRC_BASE_TASK_H_
 #define AURAGEN_SRC_BASE_TASK_H_
@@ -25,19 +27,24 @@
 
 namespace auragen {
 
-class Task {
+template <typename Sig>
+class MoveFn;  // undefined; only the R(Args...) specialization exists
+
+template <typename R, typename... Args>
+class MoveFn<R(Args...)> {
  public:
   // Sized for the hot closures: `this` + MsgView (header + shared payload +
   // body cursor) on delivery, `this` + pid + BodyRun on dispatch completion.
   // Larger captures fall back to the heap.
   static constexpr size_t kInlineBytes = 120;
 
-  Task() noexcept = default;
+  MoveFn() noexcept = default;
 
   template <typename F,
-            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task> &&
-                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  Task(F&& f) {  // NOLINT: implicit, mirrors std::function
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  MoveFn(F&& f) {  // NOLINT: implicit, mirrors std::function
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   std::is_nothrow_move_constructible_v<Fn>) {
@@ -49,9 +56,9 @@ class Task {
     }
   }
 
-  Task(Task&& other) noexcept { MoveFrom(other); }
+  MoveFn(MoveFn&& other) noexcept { MoveFrom(other); }
 
-  Task& operator=(Task&& other) noexcept {
+  MoveFn& operator=(MoveFn&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -59,23 +66,23 @@ class Task {
     return *this;
   }
 
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
+  MoveFn(const MoveFn&) = delete;
+  MoveFn& operator=(const MoveFn&) = delete;
 
-  ~Task() { Reset(); }
+  ~MoveFn() { Reset(); }
 
-  void operator()() {
-    AURAGEN_CHECK(vt_ != nullptr) << "invoking empty Task";
-    vt_->invoke(buf_);
+  R operator()(Args... args) {
+    AURAGEN_CHECK(vt_ != nullptr) << "invoking empty MoveFn";
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
   }
 
   explicit operator bool() const { return vt_ != nullptr; }
 
  private:
   struct Vtable {
-    void (*invoke)(void* buf);
+    R (*invoke)(void* buf, Args&&... args);
     // Moves the callable from `from` into raw storage `to` and destroys the
-    // source, leaving the `from` Task logically empty.
+    // source, leaving the `from` MoveFn logically empty.
     void (*relocate)(void* to, void* from) noexcept;
     void (*destroy)(void* buf) noexcept;
   };
@@ -83,7 +90,10 @@ class Task {
   template <typename Fn>
   static const Vtable* InlineVtable() {
     static constexpr Vtable vt = {
-        [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+        [](void* buf, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<Fn*>(buf)))(
+              std::forward<Args>(args)...);
+        },
         [](void* to, void* from) noexcept {
           Fn* src = std::launder(reinterpret_cast<Fn*>(from));
           ::new (to) Fn(std::move(*src));
@@ -97,7 +107,9 @@ class Task {
   template <typename Fn>
   static const Vtable* HeapVtable() {
     static constexpr Vtable vt = {
-        [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+        [](void* buf, Args&&... args) -> R {
+          return (**reinterpret_cast<Fn**>(buf))(std::forward<Args>(args)...);
+        },
         [](void* to, void* from) noexcept {
           *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
         },
@@ -106,7 +118,7 @@ class Task {
     return &vt;
   }
 
-  void MoveFrom(Task& other) noexcept {
+  void MoveFrom(MoveFn& other) noexcept {
     vt_ = other.vt_;
     if (vt_ != nullptr) {
       vt_->relocate(buf_, other.buf_);
@@ -124,6 +136,8 @@ class Task {
   const Vtable* vt_ = nullptr;
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
+
+using Task = MoveFn<void()>;
 
 }  // namespace auragen
 

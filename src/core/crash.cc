@@ -286,7 +286,12 @@ void Kernel::RebuildLostBackup(Pcb& pcb) {
     return;
   }
   pcb.backup_cluster = nb;
+  // The capture must accept a process blocked awaiting a reply: that reply
+  // is held at the sender by the §7.10.1 freeze, and only this re-backup's
+  // broadcast releases it — deferring to a sync-safe point would deadlock.
+  pcb.rebuild_capture = true;
   if (!CanSyncNow(pcb)) {
+    pcb.rebuild_capture = false;
     pcb.backup_cluster = kNoCluster;
     return;  // flag stays set; retried from MaybeTriggerSync
   }
@@ -303,6 +308,7 @@ void Kernel::RebuildLostBackup(Pcb& pcb) {
   // queues twice.
   ForceSync(pcb, /*signal_forced=*/false, /*force_synchronous=*/true);
   CreateReplacementBackup(pcb, CaptureKernelContext(pcb));
+  pcb.rebuild_capture = false;
   pcb.backup_exists = true;
 }
 
@@ -421,7 +427,11 @@ void Kernel::TakeOver(BackupPcb b) {
         CreateReplacementBackup(p, replacement_context);
         p.backup_exists = true;
       } else {
+        // Nowhere to back up: run unprotected, and release the peers that
+        // froze this process's channels awaiting the new location (§7.10.1)
+        // — without the broadcast they would hold their messages forever.
         p.backup_cluster = kNoCluster;
+        BroadcastBackupLocation(pid, kNoCluster);
       }
       break;
     }
@@ -512,6 +522,14 @@ void Kernel::CreateReplacementBackup(Pcb& pcb, const Bytes& sync_context) {
     // delivered to the world since the last sync (by the dead primary or by
     // us); a replacement backup rolling forward must skip exactly those.
     rec.writes_since_sync = e->writes_since_sync;
+    if (pcb.state == ProcState::kBlockedRead && pcb.blocked_side_effects &&
+        e->channel == pcb.blocked_channel) {
+      // The captured context rewinds to the request this process is blocked
+      // on (the §5.4 note in CanSyncNow): a rollforward re-issues it, so one
+      // extra suppression turns that resend into a no-op instead of a
+      // duplicate at the peer.
+      rec.writes_since_sync++;
+    }
     for (const QueuedMsg& q : e->queue) {
       rec.queued.push_back(q.msg.Encode());
     }

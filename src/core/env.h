@@ -19,6 +19,7 @@
 #include "src/bus/fabric.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
+#include "src/disk/disk.h"
 #include "src/sim/engine.h"
 
 namespace auragen {
@@ -44,6 +45,11 @@ class MachineEnv {
                         std::function<void(Result<Bytes>)> done) = 0;
   virtual void DiskWrite(Gpid server, BlockNum block, Bytes data,
                          std::function<void(Result<void>)> done) = 0;
+  // Multi-block transaction (kDiskWriteVec): the whole batch is one device
+  // request — one seek + streamed transfer per mirror — and lands
+  // atomically. The file server's group commit is built on this.
+  virtual void DiskWriteMulti(Gpid server, DiskWriteBatch batch,
+                              std::function<void(Result<void>)> done) = 0;
   virtual void TtyEmit(Gpid server, const Bytes& data) = 0;
 
   // Fullback placement (§7.10.2: the process server decides; we use a

@@ -73,6 +73,10 @@ struct Pcb {
                                     // next sync-safe point (crash.cc)
   SimTime rebackup_not_before = 0;  // earliest instant every live peer has
                                     // frozen this process's channels
+  bool rebuild_capture = false;     // re-backup capture in flight: CanSyncNow
+                                    // accepts a blocked-for-reply process
+                                    // (the reply is held by the very §7.10.1
+                                    // freeze the re-backup lifts)
   bool is_server = false;           // native server (system or peripheral)
   bool peripheral = false;          // explicit-sync FT, device syscalls allowed
   bool server_backup = false;       // active backup instance of a peripheral server

@@ -71,7 +71,11 @@ bool Kernel::CanSyncNow(const Pcb& pcb) const {
       // A read we can rewind and re-issue; waits for replies to requests we
       // already sent (open/writev/gettime) are postponed instead — capturing
       // there would make the restored backup resend the request (§5.4 note).
-      return !pcb.blocked_side_effects;
+      // Exception: a re-backup capture cannot wait, because the reply may be
+      // held by the §7.10.1 freeze that only the re-backup's own broadcast
+      // lifts. It proceeds, and CreateReplacementBackup charges the resend
+      // to the shipped suppression budget.
+      return !pcb.blocked_side_effects || pcb.rebuild_capture;
     default:
       return false;
   }

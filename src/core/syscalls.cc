@@ -663,6 +663,28 @@ void Kernel::DoNativeSyscall(Pcb& pcb, const SyscallRequest& req) {
                      });
       break;
     }
+    case NativeSys::kDiskWriteVec: {
+      AURAGEN_CHECK(pcb.peripheral) << "disk access from non-peripheral server";
+      pcb.state = ProcState::kBlockedDevice;
+      Gpid pid = pcb.pid;
+      ByteReader r(req.data);
+      const uint32_t n = r.U32();
+      DiskWriteBatch batch;
+      batch.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const BlockNum block = r.U32();
+        batch.emplace_back(block, r.Blob());
+      }
+      env_.DiskWriteMulti(pcb.pid, std::move(batch),
+                          [this, pid](Result<void> res) {
+                            Pcb* p = FindProcess(pid);
+                            if (p == nullptr || p->state != ProcState::kBlockedDevice) {
+                              return;
+                            }
+                            CompleteAndReady(*p, res.ok() ? 0 : NegErr(res.error()));
+                          });
+      break;
+    }
     case NativeSys::kServerSyncSend: {
       // Explicit peripheral-server sync (§7.9): ship to the backup cluster.
       if (pcb.backup_cluster == kNoCluster) {
@@ -707,8 +729,21 @@ void Kernel::DoNativeSyscall(Pcb& pcb, const SyscallRequest& req) {
       } else if (req.a == 3) {
         kind = MsgKind::kPageReply;
       }
+      Bytes payload = req.data;
+      if (kind == MsgKind::kOpenReply) {
+        // A server that took over a parked peripheral learned its own backup
+        // location at boot, when it had none; replies naming the server as
+        // peer must carry the kernel's current view or the opener's entries
+        // are born pointing at no backup and close instead of failing over.
+        OpenReplyBody reply = OpenReplyBody::Decode(payload);
+        if (reply.status == 0 && reply.peer_pid == pcb.pid) {
+          reply.peer_primary_cluster = id_;
+          reply.peer_backup_cluster = pcb.backup_cluster;
+          payload = reply.Encode();
+        }
+      }
       // req.c != 0: device-input-driven send; see SendOnChannel on counting.
-      SendOnChannel(pcb, *entry, kind, req.data, /*counted=*/req.c == 0);
+      SendOnChannel(pcb, *entry, kind, payload, /*counted=*/req.c == 0);
       CompleteAndReady(pcb, static_cast<int64_t>(req.data.size()));
       break;
     }

@@ -9,6 +9,7 @@
 #include "src/base/log.h"
 #include "src/base/rng.h"
 #include "src/machine/machine.h"
+#include "src/workload/guest_programs.h"
 #include "src/workload/kv_service.h"
 
 namespace auragen {
@@ -431,12 +432,201 @@ ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& opt) {
   return result;
 }
 
+namespace {
+
+struct FileWorkload {
+  struct Churner {
+    std::string name;
+    int records = 0;
+    int pace = 0;
+    ProcPlacement placement;
+  };
+  std::vector<Churner> churners;
+
+  std::vector<ProcPlacement> Placements() const {
+    std::vector<ProcPlacement> out;
+    for (const Churner& c : churners) {
+      out.push_back(c.placement);
+    }
+    return out;
+  }
+};
+
+struct FileRunOutcome {
+  bool completed = false;
+  bool livelock = false;
+  bool converged = false;
+  std::map<uint64_t, int32_t> exit_statuses;
+  uint64_t takeovers = 0;
+  uint64_t crashes_handled = 0;
+  TraceDigest trace_digest;
+};
+
+FileRunOutcome RunFileWorkload(const FileWorkload& wl, uint64_t seed, BackupMode mode,
+                               const FaultPlan* plan, const CampaignOptions& opt) {
+  MachineOptions mo;
+  mo.config.num_clusters = opt.num_clusters;
+  ApplyFabric(mo, opt);
+  mo.config.sync_reads_limit = 4;
+  mo.config.sync_policy = opt.sync_policy;
+  mo.config.page_shards = opt.page_shards;
+  // Tight group-commit cadence: the crash window is dense with log appends,
+  // commit records, checkpoints, and syncs.
+  mo.file_server.sync_every_ops = 4;
+  mo.seed = seed;
+  mo.engine_threads = opt.machine_threads;
+  mo.trace.enabled = true;
+  mo.trace.unbounded = false;
+  mo.trace.ring_capacity = 4096;
+  Machine machine(mo);
+  machine.set_dispatch_limit(opt.dispatch_limit);
+  machine.Boot();
+
+  std::vector<Gpid> victims;
+  for (const FileWorkload::Churner& c : wl.churners) {
+    Machine::UserSpawnOptions popts;
+    popts.mode = mode;
+    popts.backup_cluster = c.placement.backup;
+    victims.push_back(machine.SpawnUserProgram(
+        c.placement.primary, workload::FileChurner(c.name, c.records, c.pace), popts));
+  }
+
+  InjectionLog log;
+  std::vector<ProcPlacement> placements;
+  if (plan != nullptr) {
+    placements = wl.Placements();
+    InjectFaultPlan(machine, *plan, victims, placements, &log);
+  }
+
+  FileRunOutcome out;
+  out.completed = machine.RunUntilAllExited(opt.run_cap_us);
+  machine.Settle();
+  out.livelock = machine.dispatch_limit_hit();
+  out.exit_statuses = machine.exit_statuses();
+  out.takeovers = machine.metrics().takeovers;
+  out.crashes_handled = machine.metrics().crashes_handled;
+  out.trace_digest = machine.tracer()->digest();
+  out.converged = true;
+  for (ClusterId c = 0; c < opt.num_clusters; ++c) {
+    if (machine.ClusterAlive(c) && !machine.kernel(c).Quiescent()) {
+      out.converged = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult RunFileScenario(uint64_t seed, const CampaignOptions& opt) {
+  // Decorrelated from the generic and KV families.
+  Rng rng(seed ^ 0xc6a4a7935bd1e995ull);
+  FileWorkload wl;
+  int n = static_cast<int>(rng.Range(2, 4));
+  for (int i = 0; i < n; ++i) {
+    FileWorkload::Churner c;
+    c.name = "jrnl" + std::to_string(i) + ".dat";
+    c.records = static_cast<int>(rng.Range(6, 16));
+    c.pace = static_cast<int>(rng.Range(500, 3000));
+    c.placement.primary = static_cast<ClusterId>(rng.Below(opt.num_clusters));
+    c.placement.backup = static_cast<ClusterId>(
+        (c.placement.primary + 1 + rng.Below(opt.num_clusters - 1)) % opt.num_clusters);
+    wl.churners.push_back(std::move(c));
+  }
+
+  // Alternate the two journal scenarios so both get half of every campaign;
+  // the shapes draw from the same stream as MakeFaultPlan would.
+  FaultPlanInputs inputs;
+  inputs.num_clusters = opt.num_clusters;
+  inputs.num_segments = opt.num_segments;
+  inputs.procs = wl.Placements();
+  FaultPlan plan;
+  if (seed % 2 == 0) {
+    plan.scenario = ScenarioKind::kCrashMidCommit;
+    plan.fullback = rng.Chance(0.5);
+    plan.actions = {FaultAction{FaultKind::kCrashCluster, rng.Range(20'000, 200'000),
+                                inputs.server_home_a, 0}};
+  } else {
+    plan.scenario = ScenarioKind::kCrashDuringReplay;
+    plan.fullback = true;
+    SimTime t = rng.Range(15'000, 80'000);
+    SimTime back = t + rng.Range(25'000, 60'000);
+    plan.actions = {
+        FaultAction{FaultKind::kCrashCluster, t, inputs.server_home_a, 0},
+        FaultAction{FaultKind::kRestoreCluster, back, inputs.server_home_a, 0},
+        FaultAction{FaultKind::kCrashCluster, back + rng.Range(15'000, 40'000),
+                    inputs.server_home_b, 0}};
+  }
+  BackupMode mode = plan.fullback ? BackupMode::kFullback : BackupMode::kQuarterback;
+
+  ScenarioResult result;
+  result.seed = seed;
+  {
+    std::ostringstream os;
+    os << plan.Describe() << " churners=" << n;
+    result.scenario = os.str();
+  }
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    if (!result.failure.empty()) {
+      result.failure += "; ";
+    }
+    result.failure += why;
+  };
+
+  FileRunOutcome ref = RunFileWorkload(wl, seed, mode, nullptr, opt);
+  if (!ref.completed) {
+    fail(ref.livelock ? "reference run hit the dispatch limit" : "reference run stalled");
+    return result;
+  }
+  for (const auto& [pid, status] : ref.exit_statuses) {
+    if (status != 0) {
+      fail("reference run had read-back mismatches");
+      return result;
+    }
+  }
+
+  FileRunOutcome got = RunFileWorkload(wl, seed, mode, &plan, opt);
+  result.takeovers = got.takeovers;
+  result.crashes_handled = got.crashes_handled;
+  result.trace_digest = got.trace_digest;
+  if (got.livelock) {
+    fail("livelock: dispatch limit hit");
+  } else if (!got.completed) {
+    fail("stalled: a churner never exited (torn metadata or lost reply)");
+  } else {
+    uint64_t mismatches = 0;
+    for (const auto& [pid, status] : got.exit_statuses) {
+      mismatches += static_cast<uint64_t>(status < 0 ? -status : status);
+    }
+    if (mismatches != 0) {
+      std::ostringstream os;
+      os << "acked-write loss: " << mismatches << " read-back mismatches";
+      fail(os.str());
+    }
+    if (got.exit_statuses != ref.exit_statuses) {
+      fail("exit statuses diverge from the fault-free reference");
+    }
+    if (!got.converged) {
+      fail("a surviving cluster did not converge (kernel not quiescent after settle)");
+    }
+  }
+  if (result.ok && opt.check_determinism) {
+    FileRunOutcome replay = RunFileWorkload(wl, seed, mode, &plan, opt);
+    if (replay.trace_digest != got.trace_digest) {
+      fail("faulted run is nondeterministic: replay trace digest differs");
+    }
+  }
+  return result;
+}
+
 CampaignSummary RunCampaign(uint64_t first_seed, uint64_t count, const CampaignOptions& opt,
                             const std::function<void(const ScenarioResult&)>& on_result) {
   std::vector<ScenarioResult> results(count);
   auto run_one = [&](uint64_t index) {
     uint64_t seed = first_seed + index;
-    results[index] = opt.kv_workload ? RunKvScenario(seed, opt) : RunScenario(seed, opt);
+    results[index] = opt.file_workload ? RunFileScenario(seed, opt)
+                     : opt.kv_workload ? RunKvScenario(seed, opt)
+                                       : RunScenario(seed, opt);
   };
 
   uint32_t workers = std::max<uint32_t>(1, opt.engine_threads);

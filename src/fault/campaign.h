@@ -57,6 +57,10 @@ struct CampaignOptions {
   // plans; true = the KV serving workload under seeded cluster crashes
   // (RunKvScenario), with the no-acked-write-lost invariant.
   bool kv_workload = false;
+  // Third family: file-append churners against the journaled file server
+  // under kCrashMidCommit / kCrashDuringReplay plans (RunFileScenario).
+  // Takes precedence over kv_workload when both are set.
+  bool file_workload = false;
   // Worker threads running seeds concurrently. Each seed is still simulated
   // by its own deterministic single-machine runs, so every ScenarioResult —
   // including its trace digest — is bit-identical to a threads=1 campaign;
@@ -94,6 +98,18 @@ ScenarioResult RunScenario(uint64_t seed, const CampaignOptions& options);
 // incomplete run. Runs reference / faulted / optional determinism replay
 // like RunScenario.
 ScenarioResult RunKvScenario(uint64_t seed, const CampaignOptions& options);
+
+// Journaled-file-server variant: each seed spawns a few FileChurner guests
+// appending sequence records to distinct files (tight group-commit cadence),
+// under a kCrashMidCommit plan (even seeds: the file server's home dies at
+// 1µs grain over the commit window) or a kCrashDuringReplay plan (odd
+// seeds: crash / restore / crash-the-takeover, forcing a second boot-time
+// log replay). Invariants: the run completes, every churner's read-back
+// verification exits 0 (no acked write lost), exit statuses match the
+// fault-free reference (no torn metadata — a corrupt filesystem would stall
+// or mis-verify), survivors converge, and the faulted run replays
+// bit-identically.
+ScenarioResult RunFileScenario(uint64_t seed, const CampaignOptions& options);
 
 struct CampaignSummary {
   uint64_t run = 0;

@@ -50,6 +50,10 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "bus-dual-line-outage";
     case ScenarioKind::kSegmentPartition:
       return "segment-partition";
+    case ScenarioKind::kCrashMidCommit:
+      return "crash-mid-commit";
+    case ScenarioKind::kCrashDuringReplay:
+      return "crash-during-replay";
     case ScenarioKind::kNumScenarioKinds:
       break;
   }
@@ -295,6 +299,32 @@ FaultPlan MakeFaultPlan(uint64_t seed, const FaultPlanInputs& in) {
       SimTime t = rng.Range(20'000, 100'000);
       SimTime outage = rng.Range(1'000, 5'500);
       plan.actions = {SwitchFail(seg, t), SwitchRestore(seg, t + outage)};
+      break;
+    }
+
+    case ScenarioKind::kCrashMidCommit: {
+      // Like kCrashNearSync, but aimed at the file server's home so the
+      // 1µs-grain instant sweeps the journal commit pipeline (log append →
+      // commit record → checkpoint → sync) across a campaign.
+      plan.fullback = rng.Chance(0.5);
+      plan.actions = {Crash(in.server_home_a, rng.Range(20'000, 200'000))};
+      break;
+    }
+
+    case ScenarioKind::kCrashDuringReplay: {
+      // The file server's home dies (takeover boots the server from the
+      // dual-ported disk on the other home, replaying the log if the crash
+      // tore a commit), comes back after detection + takeover have run,
+      // and then the takeover home dies once the §7.3 re-backup to the
+      // restored home is in place — forcing a second boot-from-disk whose
+      // replay runs amid the recovery traffic. The two homes are never
+      // dead at the same instant, and each failure lands only after the
+      // previous one's re-protection (the paper's §6 guarantee).
+      plan.fullback = true;
+      SimTime t = rng.Range(15'000, 80'000);
+      SimTime back = t + rng.Range(25'000, 60'000);
+      plan.actions = {Crash(in.server_home_a, t), Restore(in.server_home_a, back),
+                      Crash(in.server_home_b, back + rng.Range(15'000, 40'000))};
       break;
     }
 

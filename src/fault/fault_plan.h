@@ -66,6 +66,19 @@ enum class ScenarioKind : uint8_t {
                             // FIFO — no acked write lost, no false crash
                             // declared, remote primaries re-reached.
                             // Degrades to kSingleCrash on one segment.
+  kCrashMidCommit,          // the file server's home cluster dies at 1µs
+                            // grain over the commit-dense window, so over a
+                            // campaign the instant lands in every phase of
+                            // the journaled commit: between the log append
+                            // and the commit record (torn batch, must be
+                            // discarded), between the record and the
+                            // checkpoint (committed, must be replayed), and
+                            // mid-checkpoint
+  kCrashDuringReplay,       // crash the file server's home, restore it,
+                            // then crash the takeover home shortly after —
+                            // the server boots from disk again while the
+                            // previous incarnation's log replay / re-backup
+                            // traffic may still be in flight
   kNumScenarioKinds,
 };
 const char* ScenarioKindName(ScenarioKind kind);

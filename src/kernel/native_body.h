@@ -55,6 +55,10 @@ enum class NativeSys : uint32_t {
   kWhoAmI = 109,          // -> data {pid u64, cluster u32, backup u32}:
                           // queried at startup/takeover, never from synced
                           // state (it is environmental, §7.5)
+  kDiskWriteVec = 110,    // data = {n u32, n x {block u32, image blob}}: one
+                          // multi-block disk transaction (single seek per
+                          // mirror, all blocks land atomically). The file
+                          // server's log append + checkpoint migration.
 };
 
 inline constexpr uint32_t kFirstNativeSys = 100;

@@ -175,6 +175,16 @@ void ClusterEnv::DiskWrite(Gpid server, BlockNum block, Bytes data,
   machine_.DiskWriteFrom(cluster_, server, block, std::move(data), std::move(done));
 }
 
+void ClusterEnv::DiskWriteMulti(Gpid server, DiskWriteBatch batch,
+                                std::function<void(Result<void>)> done) {
+  if (server == Machine::kFsPid) {
+    for (const auto& [block, data] : batch) {
+      metrics_.fileserver_disk_bytes += data.size();
+    }
+  }
+  machine_.DiskWriteMultiFrom(cluster_, server, std::move(batch), std::move(done));
+}
+
 void ClusterEnv::TtyEmit(Gpid server, const Bytes& data) {
   machine_.TtyEmitFrom(cluster_, server, data);
 }
@@ -294,6 +304,12 @@ void Machine::SpawnServers() {
 
   server_disks_[kFsPid.value] = fs_disk_.get();
   server_locations_[kFsPid.value] = place.file.primary;
+  if (tracer_ != nullptr) {
+    fs_disk_->set_tracer(tracer_.get(), kFsPid.value);
+    for (uint32_t s = 0; s < page_disks_.size(); ++s) {
+      page_disks_[s]->set_tracer(tracer_.get(), PageShardPid(s).value);
+    }
+  }
   server_locations_[kPsPid.value] = place.process.primary;
   server_locations_[kTtyPid.value] = place.tty.primary;
   for (uint32_t s = 0; s < page_disks_.size(); ++s) {
@@ -575,6 +591,34 @@ void Machine::DiskWriteFrom(ClusterId from, Gpid server, BlockNum block, Bytes d
                                                    done(r);
                                                  });
                           });
+      });
+}
+
+void Machine::DiskWriteMultiFrom(ClusterId from, Gpid server, DiskWriteBatch batch,
+                                 std::function<void(Result<void>)> done) {
+  const SimTime hop = std::max(options_.config.bus.arbitration_us, plan_.lookahead_us);
+  const ShardId home = plan_.shard_of_cluster(from);
+  sharded_->ScheduleOn(
+      kSharedShard, hop,
+      [this, home, hop, server, batch = std::move(batch),
+       done = std::move(done)]() mutable {
+        auto it = server_disks_.find(server.value);
+        AURAGEN_CHECK(it != server_disks_.end()) << "no disk bound to " << GpidStr(server);
+        if (tracer_ != nullptr) {
+          uint64_t bytes = 0;
+          for (const auto& [block, data] : batch) bytes += data.size();
+          // One trace event for the whole transaction; a = first home block,
+          // channel = batch size.
+          tracer_->Record(TraceEventKind::kDiskWrite, kNoCluster, server.value,
+                          batch.size(), batch.front().first, bytes);
+        }
+        it->second->WriteMulti(std::move(batch),
+                               [this, home, hop, done = std::move(done)](Result<void> r) mutable {
+                                 sharded_->ScheduleOn(home, hop,
+                                                      [done = std::move(done), r]() mutable {
+                                                        done(r);
+                                                      });
+                               });
       });
 }
 

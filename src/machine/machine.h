@@ -155,6 +155,8 @@ class ClusterEnv : public MachineEnv {
                 std::function<void(Result<Bytes>)> done) override;
   void DiskWrite(Gpid server, BlockNum block, Bytes data,
                  std::function<void(Result<void>)> done) override;
+  void DiskWriteMulti(Gpid server, DiskWriteBatch batch,
+                      std::function<void(Result<void>)> done) override;
   void TtyEmit(Gpid server, const Bytes& data) override;
   ClusterId PlaceNewBackup(ClusterId avoid_a, ClusterId avoid_b) override;
   std::unique_ptr<NativeProgram> MakeServerProgram(Gpid pid) override;
@@ -317,6 +319,8 @@ class Machine {
                     std::function<void(Result<Bytes>)> done);
   void DiskWriteFrom(ClusterId from, Gpid server, BlockNum block, Bytes data,
                      std::function<void(Result<void>)> done);
+  void DiskWriteMultiFrom(ClusterId from, Gpid server, DiskWriteBatch batch,
+                          std::function<void(Result<void>)> done);
   void TtyEmitFrom(ClusterId from, Gpid server, const Bytes& data);
   // Fullback placement by the *calling kernel's* belief about peer liveness
   // (heartbeats + crash notices): on the parallel machine another cluster's

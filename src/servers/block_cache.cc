@@ -1,0 +1,87 @@
+#include "src/servers/block_cache.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace auragen {
+
+BlockCache::BlockCache(uint32_t capacity) : capacity_(capacity) {
+  AURAGEN_CHECK(capacity_ > 0) << "block cache needs at least one slot";
+}
+
+void BlockCache::Touch(Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru_it);
+}
+
+const Bytes* BlockCache::Get(BlockNum block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  Touch(it->second);
+  return &it->second.data;
+}
+
+void BlockCache::EvictOne() {
+  // Scan from the cold end, skipping pinned (dirty) blocks.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto eit = entries_.find(*it);
+    if (eit->second.dirty) {
+      continue;
+    }
+    lru_.erase(std::next(it).base());
+    entries_.erase(eit);
+    ++evictions_;
+    return;
+  }
+  AURAGEN_PANIC("buffer cache exhausted: every block is pinned dirty");
+}
+
+void BlockCache::Put(BlockNum block, Bytes data, bool dirty) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    e.data = std::move(data);
+    if (dirty && !e.dirty) {
+      e.dirty = true;
+      ++dirty_count_;
+    }
+    Touch(e);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    EvictOne();
+  }
+  lru_.push_front(block);
+  Entry e;
+  e.data = std::move(data);
+  e.dirty = dirty;
+  e.lru_it = lru_.begin();
+  entries_.emplace(block, std::move(e));
+  if (dirty) {
+    ++dirty_count_;
+  }
+}
+
+void BlockCache::MarkClean(BlockNum block) {
+  auto it = entries_.find(block);
+  if (it != entries_.end() && it->second.dirty) {
+    it->second.dirty = false;
+    --dirty_count_;
+  }
+}
+
+DiskWriteBatch BlockCache::DirtyBlocks() const {
+  DiskWriteBatch out;
+  for (const auto& [block, entry] : entries_) {
+    if (entry.dirty) {
+      out.emplace_back(block, entry.data);
+    }
+  }
+  return out;
+}
+
+}  // namespace auragen

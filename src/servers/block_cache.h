@@ -1,0 +1,72 @@
+// Fixed-capacity write-back buffer cache for the file server (xv6's bcache
+// layer, DESIGN.md §19). Blocks are keyed by disk block number; reads that
+// hit skip the device entirely (no seek), writes dirty the cached copy and
+// reach the disk only through the write-ahead log at the next group commit.
+//
+// Dirty blocks are pinned: eviction only ever removes clean blocks, so the
+// cache can never silently drop an update that the log has not yet made
+// durable. If every block is dirty the server has outrun its own commit
+// high-water mark and the cache panics — a configuration bug, not a runtime
+// condition (the file server forces a commit well before that point).
+
+#ifndef AURAGEN_SRC_SERVERS_BLOCK_CACHE_H_
+#define AURAGEN_SRC_SERVERS_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "src/base/codec.h"
+#include "src/base/types.h"
+#include "src/disk/disk.h"
+
+namespace auragen {
+
+class BlockCache {
+ public:
+  explicit BlockCache(uint32_t capacity);
+
+  // Lookup; a hit refreshes recency and the pointer stays valid until the
+  // next Put. Hit/miss accounting feeds the journal bench and tests.
+  const Bytes* Get(BlockNum block);
+
+  // Insert or overwrite. `dirty` marks the block as ahead of its home disk
+  // location; a dirty mark sticks until MarkClean. May evict the least
+  // recently used *clean* block to make room.
+  void Put(BlockNum block, Bytes data, bool dirty);
+
+  // Checkpoint completed: the home location now matches the cached copy.
+  void MarkClean(BlockNum block);
+
+  // All dirty blocks in ascending block order (deterministic batch layout).
+  DiskWriteBatch DirtyBlocks() const;
+
+  size_t size() const { return entries_.size(); }
+  size_t dirty_count() const { return dirty_count_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Bytes data;
+    bool dirty = false;
+    std::list<BlockNum>::iterator lru_it;
+  };
+
+  void Touch(Entry& e);
+  void EvictOne();
+
+  uint32_t capacity_;
+  std::map<BlockNum, Entry> entries_;
+  std::list<BlockNum> lru_;  // front = most recently used
+  size_t dirty_count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace auragen
+
+#endif  // AURAGEN_SRC_SERVERS_BLOCK_CACHE_H_

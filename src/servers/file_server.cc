@@ -13,6 +13,11 @@ namespace auragen {
 namespace {
 
 constexpr uint32_t kSuperMagic = 0x41555246;  // "AURF"
+constexpr uint32_t kLogMagic = 0x4155524C;    // "AURL"
+
+// Commit record: {magic u32, seq u64, epoch_after u64, n u32, n x home u32}.
+// Must fit one block, which caps a batch at 122 homes.
+constexpr uint32_t kMaxLogBlocks = (kBlockSize - 24) / 4;
 
 SyscallRequest DiskWriteReq(BlockNum block, Bytes data) {
   SyscallRequest req = NativeRequest(NativeSys::kDiskWrite);
@@ -27,9 +32,42 @@ SyscallRequest DiskReadReq(BlockNum block) {
   return req;
 }
 
+// One multi-block transaction writing each image to the given block.
+SyscallRequest DiskWriteVecReq(const DiskWriteBatch& batch) {
+  SyscallRequest req = NativeRequest(NativeSys::kDiskWriteVec);
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (const auto& [block, image] : batch) {
+    w.U32(block);
+    w.Blob(image);
+  }
+  req.data = w.Take();
+  return req;
+}
+
+// The same transaction redirected into the log region: image i goes to log
+// block i, regardless of its eventual home.
+SyscallRequest LogAppendReq(const DiskWriteBatch& batch) {
+  SyscallRequest req = NativeRequest(NativeSys::kDiskWriteVec);
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    w.U32(FileServerProgram::kLogDataStart + static_cast<BlockNum>(i));
+    w.Blob(batch[i].second);
+  }
+  req.data = w.Take();
+  return req;
+}
+
 }  // namespace
 
-FileServerProgram::FileServerProgram(FileServerOptions options) : options_(options) {}
+FileServerProgram::FileServerProgram(FileServerOptions options)
+    : options_(options), cache_(options.cache_blocks) {
+  AURAGEN_CHECK(options_.log_blocks >= 4 && options_.log_blocks <= kMaxLogBlocks)
+      << "log_blocks out of range: " << options_.log_blocks;
+  next_block_ = kLogDataStart + options_.log_blocks;
+  AURAGEN_CHECK(next_block_ < options_.num_blocks) << "log region exceeds the disk";
+}
 
 uint64_t FileServerProgram::FileSize(const std::string& name) const {
   auto it = names_.find(name);
@@ -88,51 +126,95 @@ SyscallRequest FileServerProgram::SendOpenReply(uint64_t control_channel,
 
 // --------------------------------------------------------------------- sync
 
+// Group commit (DESIGN.md §19): everything dirtied since the last sync —
+// partial tails, full data blocks, fresh metadata, the next superblock
+// image — is assembled into ONE batch. The batch streams into the log
+// region as a single multi-block transaction, one commit-record write makes
+// it durable, and only then do the blocks migrate to their homes. Until the
+// commit record lands, no home-location block has been touched, so §7.9's
+// old copy survives any crash inside the window.
 SyscallRequest FileServerProgram::StartSync() {
-  // §7.9 file-server sync: flush the cache to disk (fresh blocks), commit
-  // via superblock, then ship only the small runtime state by message.
-  flush_plan_.clear();
-  for (const auto& [inode_id, dirty] : tail_dirty_) {
-    if (dirty) {
-      flush_plan_.emplace_back(inode_id, Alloc());
-    }
+  commit_batch_.clear();
+
+  // Dirty cache blocks, ascending block order (deterministic batch layout).
+  // In-place home overwrite is safe because the home write happens only
+  // after the commit record is durable.
+  for (auto& [block, image] : cache_.DirtyBlocks()) {
+    Bytes padded = std::move(image);
+    padded.resize(kBlockSize, 0);
+    commit_batch_.emplace_back(block, std::move(padded));
   }
-  plan_idx_ = 0;
-  if (!flush_plan_.empty()) {
-    mode_ = Mode::kFlushTail;
-    const auto& [inode_id, block] = flush_plan_[0];
-    Bytes content = tail_cache_[inode_id];
-    content.resize(kBlockSize, 0);
-    return DiskWriteReq(block, std::move(content));
+
+  // Fresh metadata to shadow-allocated blocks, then the superblock image
+  // that points at them. The old metadata blocks are freed in memory only
+  // after the commit record is durable.
+  Bytes meta = SerializeMeta();
+  new_meta_blocks_.clear();
+  for (size_t at = 0; at < meta.size(); at += kBlockSize) {
+    size_t n = std::min<size_t>(kBlockSize, meta.size() - at);
+    Bytes chunk(meta.begin() + at, meta.begin() + at + n);
+    new_meta_blocks_.push_back(Alloc());
+    commit_batch_.emplace_back(new_meta_blocks_.back(), std::move(chunk));
   }
-  return ContinueMetaWrite();
+  plan_offset_ = meta.size();
+
+  ByteWriter sb;
+  sb.U32(kSuperMagic);
+  sb.U64(epoch_ + 1);
+  sb.U32(static_cast<uint32_t>(meta.size()));
+  sb.U32(static_cast<uint32_t>(new_meta_blocks_.size()));
+  for (BlockNum b : new_meta_blocks_) {
+    sb.U32(b);
+  }
+  commit_batch_.emplace_back(static_cast<BlockNum>((epoch_ + 1) % 2), sb.Take());
+
+  AURAGEN_CHECK(commit_batch_.size() <= options_.log_blocks)
+      << "commit batch overflows the log: " << commit_batch_.size();
+
+  mode_ = Mode::kLogAppend;
+  return LogAppendReq(commit_batch_);
 }
 
-SyscallRequest FileServerProgram::ContinueFlushTail() {
-  // Previous tail write completed: splice the fresh block into the inode.
-  const auto& [inode_id, block] = flush_plan_[plan_idx_];
-  Inode& inode = inodes_[inode_id];
-  uint32_t tail_idx = static_cast<uint32_t>(inode.size / kBlockSize);
-  if (inode.size % kBlockSize == 0 && inode.size != 0) {
-    tail_idx = static_cast<uint32_t>(inode.size / kBlockSize) - 1;
+// Checkpoint finished: the cache is clean relative to the home locations
+// and the small §7.9 runtime state ships to the backup.
+SyscallRequest FileServerProgram::FinishCommit() {
+  for (const auto& [home, image] : commit_batch_) {
+    cache_.MarkClean(home);
   }
-  if (tail_idx < inode.blocks.size()) {
-    pending_free_.push_back(inode.blocks[tail_idx]);
-    inode.blocks[tail_idx] = block;
-  } else {
-    inode.blocks.push_back(block);
-  }
-  tail_dirty_[inode_id] = false;
+  commit_batch_.clear();
 
-  ++plan_idx_;
-  if (plan_idx_ < flush_plan_.size()) {
-    const auto& [next_inode, next_block] = flush_plan_[plan_idx_];
-    Bytes content = tail_cache_[next_inode];
-    content.resize(kBlockSize, 0);
-    mode_ = Mode::kFlushTail;
-    return DiskWriteReq(next_block, std::move(content));
+  ByteWriter w;
+  ServerSyncPrefix prefix;
+  for (const auto& [chan, count] : serviced_since_sync_) {
+    prefix.serviced.emplace_back(ChannelId{chan}, count);
   }
-  return ContinueMetaWrite();
+  prefix.Serialize(w);
+  ByteWriter opaque;
+  opaque.U32(static_cast<uint32_t>(chans_.size()));
+  for (const auto& [chan, state] : chans_) {
+    opaque.U64(chan);
+    opaque.U32(state.inode);
+    opaque.U64(state.offset);
+  }
+  opaque.U32(static_cast<uint32_t>(pending_opens_.size()));
+  for (const auto& [name, pending] : pending_opens_) {
+    opaque.Str(name);
+    opaque.U64(pending.cookie);
+    opaque.U64(pending.control_channel);
+    opaque.U64(pending.opener.value);
+    opaque.U32(pending.opener_cluster);
+    opaque.U32(pending.opener_backup);
+    opaque.U8(pending.opener_mode);
+  }
+  opaque.U64(next_chan_counter_);
+  opaque.U64(log_seq_);
+  w.Blob(opaque.bytes());
+  serviced_since_sync_.clear();
+  ops_since_sync_ = 0;
+  mode_ = Mode::kSendingSync;
+  SyscallRequest req = NativeRequest(NativeSys::kServerSyncSend);
+  req.data = w.Take();
+  return req;
 }
 
 Bytes FileServerProgram::SerializeMeta() const {
@@ -190,45 +272,14 @@ void FileServerProgram::ParseMeta(const Bytes& blob) {
   }
 }
 
-SyscallRequest FileServerProgram::ContinueMetaWrite() {
-  if (mode_ != Mode::kMetaWrite) {
-    // First entry: chunk the metadata and allocate fresh blocks (shadow —
-    // the committed copy stays intact until the superblock flips).
-    Bytes meta = SerializeMeta();
-    meta_chunks_.clear();
-    new_meta_blocks_.clear();
-    for (size_t at = 0; at < meta.size(); at += kBlockSize) {
-      size_t n = std::min<size_t>(kBlockSize, meta.size() - at);
-      Bytes chunk(meta.begin() + at, meta.begin() + at + n);
-      meta_chunks_.push_back(std::move(chunk));
-      new_meta_blocks_.push_back(Alloc());
-    }
-    plan_idx_ = 0;
-    plan_offset_ = meta.size();
-  } else {
-    ++plan_idx_;
-  }
-  if (plan_idx_ < meta_chunks_.size()) {
-    mode_ = Mode::kMetaWrite;
-    return DiskWriteReq(new_meta_blocks_[plan_idx_], meta_chunks_[plan_idx_]);
-  }
-  // All metadata persisted: commit via the alternating superblock slot.
-  ByteWriter sb;
-  sb.U32(kSuperMagic);
-  sb.U64(epoch_ + 1);
-  sb.U32(static_cast<uint32_t>(plan_offset_));
-  sb.U32(static_cast<uint32_t>(new_meta_blocks_.size()));
-  for (BlockNum b : new_meta_blocks_) {
-    sb.U32(b);
-  }
-  mode_ = Mode::kSuperWrite;
-  return DiskWriteReq(static_cast<BlockNum>((epoch_ + 1) % 2), sb.Take());
-}
-
 // --------------------------------------------------------------- requests
 
 SyscallRequest FileServerProgram::AfterService() {
-  if (ops_since_sync_ >= options_.sync_every_ops) {
+  // Commit on the op-count trigger, or early when dirty pressure nears the
+  // log's capacity (xv6's log-full forced commit; the margin leaves room
+  // for metadata chunks and the superblock).
+  if (ops_since_sync_ >= options_.sync_every_ops ||
+      cache_.dirty_count() >= options_.log_blocks / 2) {
     return StartSync();
   }
   return ReadAny();
@@ -351,21 +402,24 @@ SyscallRequest FileServerProgram::HandleFileRead(uint64_t channel, uint64_t max)
   return StepRead();
 }
 
-// Advances the read plan: cached/uncommitted blocks are consumed inline,
-// a committed block yields one kDiskRead, plan exhaustion yields the reply.
+// Advances the read plan: cached blocks are consumed inline (a hit skips
+// the seek entirely), a miss yields one kDiskRead that also populates the
+// cache, plan exhaustion yields the reply.
 SyscallRequest FileServerProgram::StepRead() {
   const Inode& inode = inodes_[cur_inode_];
-  bool has_partial = inode.size % kBlockSize != 0;
-  uint32_t partial_idx = static_cast<uint32_t>(inode.size / kBlockSize);
-  bool tail_in_cache = tail_cache_.count(cur_inode_) != 0;
-
   while (plan_idx_ < plan_blocks_.size()) {
     uint32_t fb = plan_blocks_[plan_idx_];
-    bool from_cache = tail_in_cache && has_partial && fb == partial_idx;
-    if (!from_cache && fb < inode.blocks.size()) {
-      return DiskReadReq(inode.blocks[fb]);
+    Bytes chunk;
+    if (fb < inode.blocks.size()) {
+      BlockNum home = inode.blocks[fb];
+      const Bytes* cached = cache_.Get(home);
+      if (cached == nullptr) {
+        cur_read_block_ = home;
+        mode_ = Mode::kReading;
+        return DiskReadReq(home);
+      }
+      chunk = *cached;
     }
-    Bytes chunk = from_cache ? tail_cache_[cur_inode_] : Bytes{};
     chunk.resize(kBlockSize, 0);
     plan_buffer_.insert(plan_buffer_.end(), chunk.begin(), chunk.end());
     ++plan_idx_;
@@ -380,80 +434,110 @@ SyscallRequest FileServerProgram::StepRead() {
   return ReplyData(cur_channel_, out);
 }
 
+// Writes land at the channel's offset — a read-modify-write through the
+// buffer cache, zero disk I/O when the touched blocks are cached. The write
+// is acknowledged immediately: §7.9's saved message queues re-execute
+// un-synced acked writes at the backup, and the next group commit makes the
+// blocks durable in one transaction.
+//
+// Positioned writes are what make the at-least-once replay safe. The disk
+// can be ahead of the last shipped ServerSync (a commit record is durable
+// before the sync message lands), so a takeover re-executes requests whose
+// effects may already be committed. Re-executing a positioned write lays
+// down identical bytes at an identical offset — idempotent, exactly the
+// §7.9 argument for the raw disk server — where an append-at-EOF would
+// duplicate the record and shift every later byte.
 SyscallRequest FileServerProgram::HandleFileWrite(uint64_t channel, Bytes data) {
   auto it = chans_.find(channel);
   if (it == chans_.end()) {
     return ReplyStatus(channel, -static_cast<int32_t>(Errc::kBadDescriptor));
   }
+  Chan& chan = it->second;
   cur_channel_ = channel;
-  cur_inode_ = it->second.inode;
+  cur_inode_ = chan.inode;
   Inode& inode = inodes_[cur_inode_];
-
-  // Appends only (see DESIGN.md). If the committed tail is partial and not
-  // yet cached, load it first, then re-enter.
-  uint64_t tail_len = inode.size % kBlockSize;
-  if (tail_len != 0 && tail_cache_.count(cur_inode_) == 0) {
-    uint32_t tail_idx = static_cast<uint32_t>(inode.size / kBlockSize);
-    AURAGEN_CHECK(tail_idx < inode.blocks.size());
-    cur_data_ = std::move(data);
-    mode_ = Mode::kTailLoad;
-    return DiskReadReq(inode.blocks[tail_idx]);
+  if (data.empty()) {
+    return ReplyStatus(channel, 0);
   }
 
-  Bytes tail = tail_cache_.count(cur_inode_) != 0 ? tail_cache_[cur_inode_] : Bytes{};
-  tail.resize(tail_len);
-  size_t written = data.size();
-  tail.insert(tail.end(), data.begin(), data.end());
-  inode.size += written;
+  uint64_t begin = chan.offset;
+  uint64_t end = begin + data.size();
+  uint32_t first_fb = static_cast<uint32_t>(begin / kBlockSize);
+  uint32_t last_fb = static_cast<uint32_t>((end - 1) / kBlockSize);
 
-  // Full 512-byte blocks go to fresh disk blocks now; the remainder stays in
-  // the cache until the next sync flush.
-  plan_blocks_.clear();
-  meta_chunks_.clear();  // reuse as write-content holder
-  size_t at = 0;
-  bool replacing_committed_tail = tail_len != 0;
-  while (tail.size() - at >= kBlockSize) {
-    Bytes full(tail.begin() + at, tail.begin() + at + kBlockSize);
-    meta_chunks_.push_back(std::move(full));
-    plan_blocks_.push_back(Alloc());
-    at += kBlockSize;
-  }
-  Bytes rest(tail.begin() + at, tail.end());
-  if (!rest.empty()) {
-    tail_cache_[cur_inode_] = rest;
-    tail_dirty_[cur_inode_] = true;
-  } else {
-    tail_cache_.erase(cur_inode_);
-    tail_dirty_.erase(cur_inode_);
-  }
-
-  if (plan_blocks_.empty()) {
-    serviced_since_sync_[channel]++;
-    ops_since_sync_++;
-    return ReplyStatus(channel, static_cast<int32_t>(written));
-  }
-  // Splice the full blocks into the inode map immediately (in-memory only —
-  // committed metadata still points at the old state until the next sync).
-  uint32_t tail_idx = static_cast<uint32_t>(inode.blocks.size());
-  if (replacing_committed_tail) {
-    tail_idx = static_cast<uint32_t>((inode.size - written - tail_len) / kBlockSize);
-  }
-  for (size_t i = 0; i < plan_blocks_.size(); ++i) {
-    uint32_t slot = tail_idx + static_cast<uint32_t>(i);
-    if (slot < inode.blocks.size()) {
-      pending_free_.push_back(inode.blocks[slot]);
-      inode.blocks[slot] = plan_blocks_[i];
-    } else {
-      inode.blocks.push_back(plan_blocks_[i]);
+  // An edge block the write only partially covers must be loaded through
+  // the cache first when it holds committed content (read-modify-write).
+  for (uint32_t fb : {first_fb, last_fb}) {
+    uint64_t blk_begin = static_cast<uint64_t>(fb) * kBlockSize;
+    bool covered = begin <= blk_begin && end >= blk_begin + kBlockSize;
+    bool has_old = fb < inode.blocks.size() && blk_begin < inode.size;
+    if (!covered && has_old && cache_.Get(inode.blocks[fb]) == nullptr) {
+      cur_data_ = std::move(data);
+      cur_read_block_ = inode.blocks[fb];
+      mode_ = Mode::kWriteLoad;
+      return DiskReadReq(cur_read_block_);
     }
   }
-  cur_max_ = written;  // remember the status value
-  plan_idx_ = 0;
-  mode_ = Mode::kWriting;
-  return DiskWriteReq(plan_blocks_[0], meta_chunks_[0]);
+
+  // Extend the block map across the write span; hole blocks a forward seek
+  // skipped become zero-filled dirty cache blocks so stale disk content can
+  // never surface as file bytes.
+  uint32_t old_nblocks = static_cast<uint32_t>(inode.blocks.size());
+  while (inode.blocks.size() <= last_fb) {
+    inode.blocks.push_back(Alloc());
+  }
+  for (uint32_t fb = old_nblocks; fb < first_fb; ++fb) {
+    cache_.Put(inode.blocks[fb], Bytes(kBlockSize, 0), /*dirty=*/true);
+  }
+
+  for (uint32_t fb = first_fb; fb <= last_fb; ++fb) {
+    BlockNum home = inode.blocks[fb];
+    uint64_t blk_begin = static_cast<uint64_t>(fb) * kBlockSize;
+    bool covered = begin <= blk_begin && end >= blk_begin + kBlockSize;
+    Bytes image;
+    if (!covered) {
+      if (const Bytes* cached = cache_.Get(home)) {
+        image = *cached;
+      }
+      // A write starting past the committed EOF inside this block: the gap
+      // bytes are file content now and must read as zeros, not stale disk.
+      if (begin > inode.size && blk_begin < inode.size) {
+        image.resize(kBlockSize, 0);
+        std::fill(image.begin() + (inode.size - blk_begin),
+                  image.begin() + (begin - blk_begin), 0);
+      }
+    }
+    image.resize(kBlockSize, 0);
+    uint64_t from = std::max<uint64_t>(begin, blk_begin);
+    uint64_t to = std::min<uint64_t>(end, blk_begin + kBlockSize);
+    std::copy(data.begin() + static_cast<size_t>(from - begin),
+              data.begin() + static_cast<size_t>(to - begin),
+              image.begin() + static_cast<size_t>(from - blk_begin));
+    cache_.Put(home, std::move(image), /*dirty=*/true);
+  }
+  inode.size = std::max(inode.size, end);
+  chan.offset = end;
+  return ReplyStatus(channel, static_cast<int32_t>(data.size()));
 }
 
 // ----------------------------------------------------------------- the FSM
+
+SyscallRequest FileServerProgram::BootFromSuper() {
+  if (!boot_sb_valid_) {
+    // Virgin disk: the first commit runs through the normal WAL path —
+    // formats an empty filesystem and sends the initial sync.
+    epoch_ = 0;
+    meta_blocks_.clear();
+    return StartSync();
+  }
+  if (meta_blocks_.empty()) {
+    return ReadAny();
+  }
+  plan_idx_ = 0;
+  plan_buffer_.clear();
+  mode_ = Mode::kBootMeta;
+  return DiskReadReq(meta_blocks_[0]);
+}
 
 SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
   if (first) {
@@ -505,29 +589,113 @@ SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
       std::vector<BlockNum> b1;
       bool ok0 = parse_sb(boot_sb0_, &e0, &len0, &b0);
       bool ok1 = prev.rv >= 0 && parse_sb(prev.data, &e1, &len1, &b1);
-      if (!ok0 && !ok1) {
-        // Virgin disk: format with an empty filesystem.
-        epoch_ = 0;
-        meta_blocks_.clear();
-        return ContinueMetaWrite();  // empty meta -> straight to superblock
-      }
+      boot_sb_valid_ = ok0 || ok1;
       if (ok1 && (!ok0 || e1 > e0)) {
         epoch_ = e1;
         meta_blocks_ = b1;
         plan_offset_ = len1;
-      } else {
+      } else if (ok0) {
         epoch_ = e0;
         meta_blocks_ = b0;
         plan_offset_ = len0;
+      } else {
+        epoch_ = 0;
+        meta_blocks_.clear();
       }
-      if (meta_blocks_.empty()) {
-        return ReadAny();
-      }
-      plan_idx_ = 0;
-      plan_buffer_.clear();
-      mode_ = Mode::kBootMeta;
-      return DiskReadReq(meta_blocks_[0]);
+      // Always inspect the commit-record slots before trusting the
+      // superblock: a record with a higher epoch means a committed batch
+      // whose home migration never finished.
+      mode_ = Mode::kBootCr0;
+      return DiskReadReq(kCrSlot0);
     }
+
+    case Mode::kBootCr0:
+      boot_cr0_ = prev.rv >= 0 ? prev.data : Bytes{};
+      mode_ = Mode::kBootCr1;
+      return DiskReadReq(kCrSlot1);
+
+    case Mode::kBootCr1: {
+      auto parse_cr = [](const Bytes& raw, uint64_t* seq, uint64_t* epoch,
+                         std::vector<BlockNum>* homes) {
+        if (raw.size() < 24) {
+          return false;
+        }
+        ByteReader r(raw);
+        if (r.U32() != kLogMagic) {
+          return false;
+        }
+        *seq = r.U64();
+        *epoch = r.U64();
+        uint32_t n = r.U32();
+        if (raw.size() < 24 + size_t{n} * 4) {
+          return false;
+        }
+        homes->clear();
+        for (uint32_t i = 0; i < n; ++i) {
+          homes->push_back(r.U32());
+        }
+        return true;
+      };
+      uint64_t s0 = 0;
+      uint64_t s1 = 0;
+      uint64_t ce0 = 0;
+      uint64_t ce1 = 0;
+      std::vector<BlockNum> h0;
+      std::vector<BlockNum> h1;
+      bool ok0 = parse_cr(boot_cr0_, &s0, &ce0, &h0);
+      bool ok1 = prev.rv >= 0 && parse_cr(prev.data, &s1, &ce1, &h1);
+      boot_cr_seq_ = 0;
+      boot_cr_epoch_ = 0;
+      boot_cr_homes_.clear();
+      if (ok1 && (!ok0 || s1 > s0)) {
+        boot_cr_seq_ = s1;
+        boot_cr_epoch_ = ce1;
+        boot_cr_homes_ = std::move(h1);
+      } else if (ok0) {
+        boot_cr_seq_ = s0;
+        boot_cr_epoch_ = ce0;
+        boot_cr_homes_ = std::move(h0);
+      }
+      if (boot_cr_seq_ != 0) {
+        log_seq_ = boot_cr_seq_;
+      }
+      if (!boot_cr_homes_.empty() &&
+          (!boot_sb_valid_ || boot_cr_epoch_ > epoch_)) {
+        // Committed but unchecked: replay the batch from the log. A torn
+        // append (log blocks without a newer record) never reaches here and
+        // is simply overwritten by the next commit.
+        plan_idx_ = 0;
+        commit_batch_.clear();
+        mode_ = Mode::kBootReplay;
+        return DiskReadReq(kLogDataStart);
+      }
+      return BootFromSuper();
+    }
+
+    case Mode::kBootReplay: {
+      Bytes img = prev.rv >= 0 ? prev.data : Bytes{};
+      img.resize(kBlockSize, 0);
+      commit_batch_.emplace_back(boot_cr_homes_[plan_idx_], std::move(img));
+      ++plan_idx_;
+      if (plan_idx_ < boot_cr_homes_.size()) {
+        return DiskReadReq(kLogDataStart + static_cast<BlockNum>(plan_idx_));
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->Record(TraceEventKind::kFsLogCommit, my_cluster_, my_pid_.value,
+                                1, boot_cr_seq_, commit_batch_.size());
+      }
+      mode_ = Mode::kBootReplayWrite;
+      return DiskWriteVecReq(commit_batch_);
+    }
+
+    case Mode::kBootReplayWrite:
+      // Homes are current; reboot from the superblocks. Idempotent: the
+      // replayed superblock now carries the record's epoch, so a crash
+      // during replay just replays again, and a completed replay parses
+      // clean with no second pass.
+      commit_batch_.clear();
+      mode_ = Mode::kBootSb0;
+      return DiskReadReq(0);
 
     case Mode::kBootMeta: {
       Bytes chunk = prev.rv >= 0 ? prev.data : Bytes(kBlockSize, 0);
@@ -542,9 +710,6 @@ SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
       plan_buffer_.clear();
       return ReadAny();
     }
-
-    case Mode::kFormatSuper:
-      return ReadAny();
 
     case Mode::kAwaitMessage: {
       ByteReader r(prev.data);
@@ -596,91 +761,73 @@ SyscallRequest FileServerProgram::Next(const SyscallResult& prev, bool first) {
     case Mode::kPairReply2:
       return SendOpenReply(pair_reply2_channel_, pair_reply2_, Mode::kOpenReply);
 
-    case Mode::kTailLoad: {
-      // The committed tail arrived; cache it and re-run the append.
-      Bytes tail = prev.rv >= 0 ? prev.data : Bytes{};
-      tail.resize(inodes_[cur_inode_].size % kBlockSize);
-      tail_cache_[cur_inode_] = std::move(tail);
-      tail_dirty_[cur_inode_] = false;
+    case Mode::kWriteLoad: {
+      // The edge block arrived; cache it and re-run the write. If it is the
+      // committed EOF block, its bytes past EOF are not file content — zero
+      // them so an extension can never surface stale disk data.
+      Bytes raw = prev.rv >= 0 ? prev.data : Bytes{};
+      raw.resize(kBlockSize, 0);
+      const Inode& inode = inodes_[cur_inode_];
+      uint64_t eof_cut = inode.size % kBlockSize;
+      if (eof_cut != 0 && inode.size / kBlockSize < inode.blocks.size() &&
+          inode.blocks[inode.size / kBlockSize] == cur_read_block_) {
+        std::fill(raw.begin() + eof_cut, raw.end(), 0);
+      }
+      cache_.Put(cur_read_block_, std::move(raw), /*dirty=*/false);
       return HandleFileWrite(cur_channel_, std::move(cur_data_));
     }
 
     case Mode::kReading: {
       Bytes chunk = prev.rv >= 0 ? prev.data : Bytes{};
       chunk.resize(kBlockSize, 0);
+      cache_.Put(cur_read_block_, chunk, /*dirty=*/false);
       plan_buffer_.insert(plan_buffer_.end(), chunk.begin(), chunk.end());
       ++plan_idx_;
       return StepRead();
     }
 
-    case Mode::kWriting: {
-      ++plan_idx_;
-      if (plan_idx_ < plan_blocks_.size()) {
-        return DiskWriteReq(plan_blocks_[plan_idx_], meta_chunks_[plan_idx_]);
+    case Mode::kLogAppend: {
+      // Batch is in the log region; one commit-record write (alternating
+      // slots, higher sequence wins) is the atomic commit point.
+      ByteWriter cr;
+      cr.U32(kLogMagic);
+      cr.U64(log_seq_ + 1);
+      cr.U64(epoch_ + 1);
+      cr.U32(static_cast<uint32_t>(commit_batch_.size()));
+      for (const auto& [home, image] : commit_batch_) {
+        cr.U32(home);
       }
-      meta_chunks_.clear();
-      return ReplyStatus(cur_channel_, static_cast<int32_t>(cur_max_));
+      mode_ = Mode::kLogCommit;
+      return DiskWriteReq(kCrSlot0 + static_cast<BlockNum>((log_seq_ + 1) % 2),
+                          cr.Take());
     }
 
-    case Mode::kFlushTail:
-      return ContinueFlushTail();
-
-    case Mode::kMetaWrite:
-      return ContinueMetaWrite();
-
-    case Mode::kSuperWrite: {
-      // Commit point passed: the new epoch is on disk. Old blocks are now
-      // reclaimable (§7.9's "old copy cannot be destroyed until the sync is
-      // complete" — it just was).
+    case Mode::kLogCommit: {
+      // Commit point passed: the batch is durable in the log. Old blocks
+      // are now reclaimable (§7.9's "old copy cannot be destroyed until the
+      // sync is complete" — it is now recoverable from the log even if the
+      // home migration below never runs).
+      log_seq_ += 1;
       epoch_ += 1;
       commits_++;
       if (options_.tracer != nullptr) {
         options_.tracer->Record(TraceEventKind::kFsCommit, my_cluster_, my_pid_.value, 0,
                                 epoch_, commits_);
+        options_.tracer->Record(TraceEventKind::kFsLogCommit, my_cluster_, my_pid_.value,
+                                0, log_seq_, commit_batch_.size());
       }
       for (BlockNum b : meta_blocks_) {
         free_list_.push_back(b);
       }
       meta_blocks_ = new_meta_blocks_;
       new_meta_blocks_.clear();
-      for (BlockNum b : pending_free_) {
-        free_list_.push_back(b);
-      }
-      pending_free_.clear();
-
-      // Ship the small runtime state (§7.9).
-      ByteWriter w;
-      ServerSyncPrefix prefix;
-      for (const auto& [chan, count] : serviced_since_sync_) {
-        prefix.serviced.emplace_back(ChannelId{chan}, count);
-      }
-      prefix.Serialize(w);
-      ByteWriter opaque;
-      opaque.U32(static_cast<uint32_t>(chans_.size()));
-      for (const auto& [chan, state] : chans_) {
-        opaque.U64(chan);
-        opaque.U32(state.inode);
-        opaque.U64(state.offset);
-      }
-      opaque.U32(static_cast<uint32_t>(pending_opens_.size()));
-      for (const auto& [name, pending] : pending_opens_) {
-        opaque.Str(name);
-        opaque.U64(pending.cookie);
-        opaque.U64(pending.control_channel);
-        opaque.U64(pending.opener.value);
-        opaque.U32(pending.opener_cluster);
-        opaque.U32(pending.opener_backup);
-        opaque.U8(pending.opener_mode);
-      }
-      opaque.U64(next_chan_counter_);
-      w.Blob(opaque.bytes());
-      serviced_since_sync_.clear();
-      ops_since_sync_ = 0;
-      mode_ = Mode::kSendingSync;
-      SyscallRequest req = NativeRequest(NativeSys::kServerSyncSend);
-      req.data = w.Take();
-      return req;
+      // Checkpoint: migrate the batch to the home locations.
+      mode_ = Mode::kCheckpoint;
+      return DiskWriteVecReq(commit_batch_);
     }
+
+    case Mode::kCheckpoint:
+      return FinishCommit();
 
     case Mode::kSendingSync:
       return ReadAny();
@@ -715,6 +862,7 @@ void FileServerProgram::LoadRuntime(const Bytes& opaque) {
     pending_opens_[name] = pending;
   }
   next_chan_counter_ = o.U64();
+  log_seq_ = o.U64();
 }
 
 void FileServerProgram::SerializeState(ByteWriter& w) const {
@@ -722,6 +870,7 @@ void FileServerProgram::SerializeState(ByteWriter& w) const {
   // disk, so this carries the runtime tables plus boot identity of the
   // committed filesystem.
   w.U64(epoch_);
+  w.U64(log_seq_);
   w.U32(static_cast<uint32_t>(meta_blocks_.size()));
   for (BlockNum b : meta_blocks_) {
     w.U32(b);
@@ -735,11 +884,13 @@ void FileServerProgram::SerializeState(ByteWriter& w) const {
   }
   opaque.U32(0);  // pending opens omitted in snapshots
   opaque.U64(next_chan_counter_);
+  opaque.U64(log_seq_);
   w.Blob(opaque.bytes());
 }
 
 void FileServerProgram::RestoreState(ByteReader& r) {
   epoch_ = r.U64();
+  log_seq_ = r.U64();
   meta_blocks_.clear();
   uint32_t n = r.U32();
   for (uint32_t i = 0; i < n; ++i) {

@@ -3,23 +3,37 @@
 //
 // Filesystems are "logically the same as UNIX file systems ... but
 // internally structured differently to allow the file server to sync
-// correctly" (§7.6). The internal structure here is shadow-block commit:
+// correctly" (§7.6). The internal structure here is a journaled,
+// cache-backed pipeline (DESIGN.md §19, after xv6's logging layer):
 //
-//   * file data is written to freshly allocated blocks, never in place;
-//   * at each server sync the metadata (names, inodes, allocator) is
-//     serialized to fresh blocks, then one superblock write (alternating
-//     between the two superblock slots, higher epoch wins) atomically
-//     commits the new state;
-//   * blocks of the previous state are only then returned to the free list —
-//     "an old copy, i.e., in the state as of last sync, cannot be destroyed
-//     until the sync is complete, in case a crash occurs during the
-//     operation" (§7.9). This is also what makes the filesystem
-//     "considerably more robust than ... UNIX".
+//   * a fixed-capacity write-back buffer cache absorbs reads and writes —
+//     channel writes land at the channel's offset (read-modify-write of
+//     cached blocks) and are acknowledged immediately. An un-synced acked
+//     write is re-executed at the backup from the saved message queue
+//     (§7.9); positioned writes make that at-least-once re-execution
+//     idempotent — identical bytes at identical offsets — even when the
+//     disk committed ahead of the last shipped sync, exactly the argument
+//     the paper makes for the raw disk server;
+//   * at each server sync the dirty blocks, fresh metadata and new
+//     superblock image are appended to a write-ahead log region as ONE
+//     multi-block disk transaction, then a single commit-record write
+//     (alternating slots, higher sequence wins) atomically commits the
+//     whole batch — group commit: every write since the last sync rides
+//     one mirrored-disk round trip;
+//   * only after the commit record is durable do the blocks migrate to
+//     their home locations (checkpoint), so "an old copy, i.e., in the
+//     state as of last sync, cannot be destroyed until the sync is
+//     complete" (§7.9) — the old copy lives at the home location until the
+//     new state is recoverable from the log;
+//   * boot scans the commit-record slots: a record newer than the
+//     superblock means a committed-but-unchecked batch, which is replayed
+//     home; a torn append (blocks in the log, no record) is ignored.
 //
 // Because a substantial part of the server's state thus lives on the
 // dual-ported disk, its explicit ServerSync message is small: request trim
-// counts plus the runtime channel table — "we avoid sending a large amount
-// of information to the backup via the message system" (§7.9).
+// counts plus the runtime channel table and log position — "we avoid
+// sending a large amount of information to the backup via the message
+// system" (§7.9).
 //
 // The server also pairs user-to-user channels: open("ch:NAME") from two
 // processes yields one channel between them (§7.4.1).
@@ -28,12 +42,12 @@
 #define AURAGEN_SRC_SERVERS_FILE_SERVER_H_
 
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/wire.h"
 #include "src/kernel/native_body.h"
+#include "src/servers/block_cache.h"
 #include "src/servers/protocol.h"
 
 namespace auragen {
@@ -43,6 +57,12 @@ class Tracer;
 struct FileServerOptions {
   uint32_t sync_every_ops = 16;
   BlockNum num_blocks = 16384;
+  // Buffer cache capacity in blocks. Dirty blocks are pinned; a commit is
+  // forced when dirty pressure reaches half the log capacity.
+  uint32_t cache_blocks = 128;
+  // Blocks in the write-ahead log region; bounds the batch one commit can
+  // carry (the commit record holds at most 122 home pointers).
+  uint32_t log_blocks = 96;
   // Write-only flight recorder; null disables server-side trace events.
   Tracer* tracer = nullptr;
 };
@@ -61,27 +81,37 @@ class FileServerProgram : public NativeProgram {
   bool HasFile(const std::string& name) const { return names_.count(name) != 0; }
   uint64_t FileSize(const std::string& name) const;
   uint64_t commits() const { return commits_; }
+  uint64_t log_seq() const { return log_seq_; }
+  const BlockCache& cache() const { return cache_; }
+
+  // On-disk layout (all in blocks). 0/1: superblock slots; 2/3: commit
+  // record slots; then the log data region; file/meta data after that.
+  static constexpr BlockNum kCrSlot0 = 2;
+  static constexpr BlockNum kCrSlot1 = 3;
+  static constexpr BlockNum kLogDataStart = 4;
 
  private:
   enum class Mode : uint8_t {
     kStart,
-    kWho,          // kWhoAmI pending
-    kBootSb0,      // superblock 0 read pending
-    kBootSb1,      // superblock 1 read pending
-    kBootMeta,     // metadata block chain read pending
-    kFormatSuper,  // initial superblock write pending
+    kWho,           // kWhoAmI pending
+    kBootSb0,       // superblock 0 read pending
+    kBootSb1,       // superblock 1 read pending
+    kBootCr0,       // commit-record slot 0 read pending
+    kBootCr1,       // commit-record slot 1 read pending
+    kBootReplay,    // log data block read pending (recovery replay)
+    kBootReplayWrite,  // replayed batch migrating home (kDiskWriteVec)
+    kBootMeta,      // metadata block chain read pending
     kAwaitMessage,
-    kAccepting,    // kAcceptChan pending, open reply next
-    kOpenReply,    // kWriteChan of an open reply pending
-    kPairReply2,   // second pairing reply pending
-    kTailLoad,     // reading a tail block before an append
-    kReading,      // data block chain read pending
-    kWriting,      // data block chain write pending
-    kReplying,     // kWriteChan of a data/status reply pending
-    kFlushTail,    // sync step 1: tail block writes
-    kMetaWrite,    // sync step 2: metadata block writes
-    kSuperWrite,   // sync step 3: superblock commit
-    kSendingSync,  // sync step 4: ServerSync message
+    kAccepting,     // kAcceptChan pending, open reply next
+    kOpenReply,     // kWriteChan of an open reply pending
+    kPairReply2,    // second pairing reply pending
+    kWriteLoad,     // reading an edge block before a positioned write
+    kReading,       // data block read pending (cache miss)
+    kReplying,      // kWriteChan of a data/status reply pending
+    kLogAppend,     // commit step 1: batch streaming into the log region
+    kLogCommit,     // commit step 2: commit record write pending
+    kCheckpoint,    // commit step 3: batch migrating to home locations
+    kSendingSync,   // commit step 4: ServerSync message
   };
 
   struct Inode {
@@ -108,11 +138,11 @@ class FileServerProgram : public NativeProgram {
   SyscallRequest HandleFileRead(uint64_t channel, uint64_t max);
   SyscallRequest HandleFileWrite(uint64_t channel, Bytes data);
   SyscallRequest StartSync();
-  SyscallRequest ContinueFlushTail();
-  SyscallRequest ContinueMetaWrite();
+  SyscallRequest FinishCommit();
   SyscallRequest StepRead();
   SyscallRequest ReplyData(uint64_t channel, const Bytes& data);
   SyscallRequest ReplyStatus(uint64_t channel, int32_t status);
+  SyscallRequest BootFromSuper();
   void LoadRuntime(const Bytes& opaque);
   SyscallRequest SendOpenReply(uint64_t control_channel, const OpenReplyBody& reply,
                                Mode next_mode);
@@ -134,35 +164,42 @@ class FileServerProgram : public NativeProgram {
   std::map<std::string, uint32_t> names_;
   std::map<uint32_t, Inode> inodes_;
   uint32_t next_inode_ = 1;
-  BlockNum next_block_ = 2;  // blocks 0/1: superblock slots
+  BlockNum next_block_;  // first data block, past the log region
   std::vector<BlockNum> free_list_;
   uint64_t epoch_ = 0;
+  uint64_t log_seq_ = 0;  // sequence of the last durable commit record
   std::vector<BlockNum> meta_blocks_;  // current committed metadata location
 
   // Uncommitted runtime state (travels in ServerSync).
   std::map<uint64_t, Chan> chans_;
   std::map<std::string, PendingOpen> pending_opens_;
   uint64_t next_chan_counter_ = 1;
-  std::map<uint32_t, Bytes> tail_cache_;   // inode -> partial tail content
-  std::map<uint32_t, bool> tail_dirty_;
-  std::vector<BlockNum> pending_free_;
+
+  // Buffer cache over the home block space (never caches log/super blocks).
+  BlockCache cache_;
 
   // In-flight op context.
   uint64_t cur_channel_ = 0;
   uint32_t cur_inode_ = 0;
   uint64_t cur_max_ = 0;
   Bytes cur_data_;
+  BlockNum cur_read_block_ = 0;  // home block a kReading miss will fill
   std::vector<BlockNum> plan_blocks_;
   size_t plan_idx_ = 0;
   Bytes plan_buffer_;
   uint64_t plan_offset_ = 0;
-  std::vector<std::pair<uint32_t, BlockNum>> flush_plan_;  // inode -> new block
-  std::vector<Bytes> meta_chunks_;
   std::vector<BlockNum> new_meta_blocks_;
+  // The in-flight commit batch: images (in log order) and home locations.
+  DiskWriteBatch commit_batch_;
   Bytes boot_sb0_;
+  Bytes boot_cr0_;
+  // Parsed winning commit record during boot.
+  uint64_t boot_cr_seq_ = 0;
+  uint64_t boot_cr_epoch_ = 0;
+  std::vector<BlockNum> boot_cr_homes_;
+  bool boot_sb_valid_ = false;
   OpenReplyBody pair_reply2_;
   uint64_t pair_reply2_channel_ = 0;
-  std::optional<SyscallRequest> resume_after_tail_;
 
   std::map<uint64_t, uint32_t> serviced_since_sync_;
   uint32_t ops_since_sync_ = 0;

@@ -104,6 +104,17 @@ std::string TraceAnalysis::ToString() const {
   out += "crash->dispatch     : " + crash_to_dispatch.ToString() + "\n";
   out += "crash->recovered    : " + crash_to_recovered.ToString() + "\n";
   out += "rollforward replayed: " + rollforward_replayed.ToString() + "\n";
+  if (disk_queue_wait.count() != 0) {
+    out += "disk queue wait     : " + disk_queue_wait.ToString() + "\n";
+  }
+  if (fs_log_commits != 0 || fs_log_replays != 0) {
+    out += "fs commit blocks    : " + fs_commit_blocks.ToString() + "\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "fs journal          : commits=%" PRIu64 " replays=%" PRIu64 "\n",
+                  fs_log_commits, fs_log_replays);
+    out += buf;
+  }
   if (requests_completed != 0) {
     out += "request latency     : " + request_latency.ToString() + "\n";
     out += "request read lat    : " + request_read_latency.ToString() + "\n";
@@ -186,6 +197,17 @@ TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events) {
       }
       case TraceEventKind::kTakeover:
         out.rollforward_replayed.Add(e.b);
+        break;
+      case TraceEventKind::kDiskQueueWait:
+        out.disk_queue_wait.Add(e.a);
+        break;
+      case TraceEventKind::kFsLogCommit:
+        out.fs_commit_blocks.Add(e.b);
+        if (e.channel == 0) {
+          ++out.fs_log_commits;
+        } else {
+          ++out.fs_log_replays;
+        }
         break;
       case TraceEventKind::kRequestMark: {
         const auto key = std::make_pair(e.gpid, e.b);

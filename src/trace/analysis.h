@@ -68,6 +68,14 @@ struct TraceAnalysis {
   LatencyHistogram crash_to_recovered;   // crash detect -> handling complete
   LatencyHistogram rollforward_replayed; // saved messages replayed per takeover
 
+  // Disk queueing + file-server journal (kDiskQueueWait / kFsLogCommit).
+  // Group commit's before/after lives here: queue waits collapse and each
+  // commit carries more blocks.
+  LatencyHistogram disk_queue_wait;      // per-request wait behind the actuator
+  LatencyHistogram fs_commit_blocks;     // blocks per durable commit (a count)
+  uint64_t fs_log_commits = 0;           // commit records made durable
+  uint64_t fs_log_replays = 0;           // committed batches replayed at boot
+
   // Serving-workload SLO intervals (kRequestMark pairs from guest `sys
   // mark`). Pairing keys on (gpid, tag) and keeps the *earliest* issue
   // mark, so a request whose primary dies mid-flight is charged the full

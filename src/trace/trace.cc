@@ -84,6 +84,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kSwitchFwd: return "switch-fwd";
     case TraceEventKind::kSwitchHeld: return "switch-held";
     case TraceEventKind::kEngineDispatch: return "engine-dispatch";
+    case TraceEventKind::kFsLogCommit: return "fs-log-commit";
+    case TraceEventKind::kDiskQueueWait: return "disk-queue-wait";
     case TraceEventKind::kMaxKind: break;
   }
   return "unknown";

@@ -105,6 +105,12 @@ enum class TraceEventKind : uint8_t {
   // Simulation engine (very high volume; masked out by default).
   kEngineDispatch = 60,  // a = event id
 
+  // Journaled file server (DESIGN.md §19).
+  kFsLogCommit = 61,    // commit record durable (channel = 0) or replayed at
+                        // boot (channel = 1); a = log seq, b = blocks in batch
+  kDiskQueueWait = 62,  // request left the disk queue; gpid = bound server,
+                        // channel = drive index, a = wait us, b = queue depth
+
   kMaxKind = 63,  // bitmask bound; keep kinds below this
 };
 

@@ -217,6 +217,77 @@ buf: .word 0
 )");
 }
 
+Executable FileChurner(const std::string& name, int records, int pace) {
+  return MustAssemble(R"(
+start:
+    li r1, fname
+    li r2, )" + std::to_string(name.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0            ; record index
+wloop:
+    li r9, 0
+pace:
+    addi r9, r9, 1
+    li r11, )" + std::to_string(pace) + R"(
+    blt r9, r11, pace
+    ; record i carries i+1 (never zero, so a short read can't false-match)
+    addi r12, r8, 1
+    li r11, buf
+    st r12, r11, 0
+    ; mark issue: phase 1, tag = 2 << 24 | index (op 2 = write)
+    li r12, 2
+    li r1, 24
+    shl r12, r12, r1
+    or r2, r12, r8
+    li r1, 1
+    sys mark
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys write
+    ; mark done: phase 2
+    li r12, 2
+    li r1, 24
+    shl r12, r12, r1
+    or r2, r12, r8
+    li r1, 2
+    sys mark
+    addi r8, r8, 1
+    li r11, )" + std::to_string(records) + R"(
+    blt r8, r11, wloop
+    ; verify: re-open (fresh channel reads from offset 0), read back
+    li r1, fname
+    li r2, )" + std::to_string(name.size()) + R"(
+    sys open
+    mov r10, r0
+    li r8, 0
+    li r13, 0           ; mismatches
+rloop:
+    li r12, 0
+    li r11, buf
+    st r12, r11, 0
+    mov r1, r10
+    li r2, buf
+    li r3, 4
+    sys read
+    li r11, buf
+    ld r2, r11, 0
+    addi r12, r8, 1
+    beq r2, r12, rok
+    addi r13, r13, 1
+rok:
+    addi r8, r8, 1
+    li r11, )" + std::to_string(records) + R"(
+    blt r8, r11, rloop
+    mov r1, r13
+    sys exit
+.data
+fname: .ascii ")" + name + R"("
+buf: .word 0
+)");
+}
+
 Executable AccountManager(int total_txns) {
   return MustAssemble(R"(
 start:

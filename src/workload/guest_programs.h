@@ -46,6 +46,14 @@ Executable ComputeJob(int total_spin);
 // paced by a `pace` spin loop, then exits.
 Executable Teller(const std::string& channel, int count, int amount, int pace);
 
+// File-append churner (journaled-fileserver workload): appends `records`
+// 4-byte sequence words (record i carries i+1) to file `name`, paced by a
+// `pace` spin loop, each write bracketed by kRequestMark issue/done events
+// (op 2 in the tag's high byte, so tracedump attributes write latency).
+// Then re-opens the file — a fresh channel reads from offset 0 — reads the
+// records back and exits with the number of mismatches (0 = clean).
+Executable FileChurner(const std::string& name, int records, int pace);
+
 // Bank-OLTP account manager: bunches both teller channels (ch:tla/ch:tlb),
 // applies each transaction to the balance, appends one byte per transaction
 // to "txn.log", prints a '.' every 8 transactions and the final balance as

@@ -236,7 +236,7 @@ TEST(Task, MoveTransfersOwnershipExactlyOnce) {
   c = std::move(b);
   c();
   EXPECT_EQ(*counted, 2);
-  EXPECT_DEATH(b(), "empty Task");
+  EXPECT_DEATH(b(), "empty MoveFn");
 }
 
 }  // namespace

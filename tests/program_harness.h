@@ -103,6 +103,7 @@ class ProgramHarness {
   std::map<BlockNum, Bytes> disk;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
+  uint64_t disk_write_batches = 0;  // kDiskWriteVec transactions
 
   // --- canned environment ---
   Gpid who_pid = Gpid::Make(31, 99);
@@ -131,6 +132,19 @@ class ProgramHarness {
         disk[static_cast<BlockNum>(req.a)] = req.data;
         last_.rv = 0;
         break;
+      case NativeSys::kDiskWriteVec: {
+        // One multi-block transaction; all blocks land atomically.
+        ++disk_write_batches;
+        ByteReader r(req.data);
+        uint32_t n = r.U32();
+        for (uint32_t i = 0; i < n; ++i) {
+          BlockNum block = r.U32();
+          disk[block] = r.Blob();
+          ++disk_writes;
+        }
+        last_.rv = 0;
+        break;
+      }
       case NativeSys::kServerSyncSend:
         server_syncs.push_back(req.data);
         last_.rv = 0;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/log.h"
 #include "src/fault/campaign.h"
 
 namespace {
@@ -24,9 +25,12 @@ void Usage() {
                "                 [--cross-check] [--no-determinism] [--verbose]\n"
                "\n"
                "  --seeds N          run seeds [start, start+N) (default 200)\n"
-               "  --workload W       pairs | kv (default pairs); kv runs the\n"
-               "                     serving workload under seeded cluster\n"
-               "                     crashes and checks no acked write is lost\n"
+               "  --workload W       pairs | kv | file (default pairs); kv runs\n"
+               "                     the serving workload under seeded cluster\n"
+               "                     crashes and checks no acked write is lost;\n"
+               "                     file runs append churners against the\n"
+               "                     journaled file server under crash-mid-commit\n"
+               "                     and crash-during-replay plans\n"
                "  --start S          first seed (default 1)\n"
                "  --seed X           run exactly one seed, verbosely\n"
                "  --plan             with --seed: print the fault plan and exit\n"
@@ -57,6 +61,10 @@ void Usage() {
 int main(int argc, char** argv) {
   using auragen::CampaignOptions;
   using auragen::ScenarioResult;
+
+  if (std::getenv("AURAGEN_LOG_INFO") != nullptr) {
+    auragen::Logger::Get().set_level(auragen::LogLevel::kInfo);
+  }
 
   uint64_t seeds = 200;
   uint64_t start = 1;
@@ -89,8 +97,13 @@ int main(int argc, char** argv) {
       std::string w = next();
       if (w == "pairs") {
         opt.kv_workload = false;
+        opt.file_workload = false;
       } else if (w == "kv") {
         opt.kv_workload = true;
+        opt.file_workload = false;
+      } else if (w == "file") {
+        opt.kv_workload = false;
+        opt.file_workload = true;
       } else {
         std::fprintf(stderr, "faultcamp: unknown workload '%s'\n", w.c_str());
         Usage();
@@ -148,7 +161,7 @@ int main(int argc, char** argv) {
 
   if (single) {
     if (plan_only) {
-      if (opt.kv_workload) {
+      if (opt.kv_workload || opt.file_workload) {
         std::fprintf(stderr, "faultcamp: --plan applies to the pairs workload only\n");
         return 2;
       }
@@ -156,8 +169,9 @@ int main(int argc, char** argv) {
                   auragen::MakeScenarioPlan(single_seed, opt).Describe().c_str());
       return 0;
     }
-    ScenarioResult r = opt.kv_workload ? auragen::RunKvScenario(single_seed, opt)
-                                       : auragen::RunScenario(single_seed, opt);
+    ScenarioResult r = opt.file_workload ? auragen::RunFileScenario(single_seed, opt)
+                       : opt.kv_workload ? auragen::RunKvScenario(single_seed, opt)
+                                         : auragen::RunScenario(single_seed, opt);
     std::printf("seed %llu: %s  [%s]\n", static_cast<unsigned long long>(r.seed),
                 r.ok ? "PASS" : "FAIL", r.scenario.c_str());
     std::printf("  takeovers=%llu crashes_handled=%llu tty_dups=%llu\n",
